@@ -1,0 +1,316 @@
+// Benchmarks: one per figure of the paper's evaluation (plus the ablations
+// of DESIGN.md and a few protocol micro-benchmarks). Each benchmark runs a
+// representative — scaled-down — configuration of the corresponding
+// experiment; cmd/experiments regenerates the figures at full scale.
+//
+// The metric being benchmarked is the simulator's wall-clock throughput;
+// the simulated results (congestion, simulated time) of every figure are
+// reported via b.ReportMetric so `go test -bench` output documents the
+// experiment outcomes alongside.
+package diva_test
+
+import (
+	"testing"
+
+	"diva/internal/apps/barneshut"
+	"diva/internal/apps/bitonic"
+	"diva/internal/apps/matmul"
+	"diva/internal/core"
+	"diva/internal/core/accesstree"
+	"diva/internal/core/fixedhome"
+	"diva/internal/decomp"
+	"diva/internal/mesh"
+	"diva/internal/metrics"
+)
+
+func machine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
+	return core.NewMachine(core.Config{
+		Rows: rows, Cols: cols, Seed: 1999, Tree: spec, Strategy: f,
+	})
+}
+
+// --- Figure 3: matrix multiplication, 16x16 mesh, block-size sweep ---
+
+func benchMatmul(b *testing.B, side, block int, f core.Factory, spec decomp.Spec) {
+	var lastCong uint64
+	var lastTime float64
+	for i := 0; i < b.N; i++ {
+		m := machine(side, side, f, spec)
+		var (
+			res matmul.Result
+			err error
+		)
+		if f == nil {
+			res, err = matmul.RunHandOpt(m, matmul.Config{BlockInts: block, Seed: 1})
+		} else {
+			res, err = matmul.RunDSM(m, matmul.Config{BlockInts: block, Seed: 1})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCong = m.Net.Congestion(nil).MaxBytes
+		lastTime = res.ElapsedUS
+	}
+	b.ReportMetric(float64(lastCong), "congestion-bytes")
+	b.ReportMetric(lastTime/1000, "simulated-ms")
+}
+
+func BenchmarkFig3MatMulHandOpt(b *testing.B) {
+	benchMatmul(b, 16, 256, nil, decomp.Ary2)
+}
+
+func BenchmarkFig3MatMulAccessTree4(b *testing.B) {
+	benchMatmul(b, 16, 256, accesstree.Factory(), decomp.Ary4)
+}
+
+func BenchmarkFig3MatMulFixedHome(b *testing.B) {
+	benchMatmul(b, 16, 256, fixedhome.Factory(), decomp.Ary4)
+}
+
+// --- Figure 4: matrix multiplication network scaling ---
+
+func BenchmarkFig4MatMulScale32x32AccessTree(b *testing.B) {
+	benchMatmul(b, 32, 256, accesstree.Factory(), decomp.Ary4)
+}
+
+func BenchmarkFig4MatMulScale32x32FixedHome(b *testing.B) {
+	benchMatmul(b, 32, 256, fixedhome.Factory(), decomp.Ary4)
+}
+
+// --- Figures 6/7: bitonic sorting ---
+
+func benchBitonic(b *testing.B, side, keys int, f core.Factory, spec decomp.Spec) {
+	var lastCong uint64
+	var lastTime float64
+	for i := 0; i < b.N; i++ {
+		m := machine(side, side, f, spec)
+		cfg := bitonic.Config{KeysPerProc: keys, WithCompute: true, CompareUS: 1, Seed: 2}
+		var (
+			res bitonic.Result
+			err error
+		)
+		if f == nil {
+			res, err = bitonic.RunHandOpt(m, cfg)
+		} else {
+			res, err = bitonic.RunDSM(m, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCong = m.Net.Congestion(nil).MaxBytes
+		lastTime = res.ElapsedUS
+	}
+	b.ReportMetric(float64(lastCong), "congestion-bytes")
+	b.ReportMetric(lastTime/1000, "simulated-ms")
+}
+
+func BenchmarkFig6BitonicHandOpt(b *testing.B) {
+	benchBitonic(b, 8, 1024, nil, decomp.Ary2)
+}
+
+func BenchmarkFig6BitonicAccessTree24(b *testing.B) {
+	benchBitonic(b, 8, 1024, accesstree.Factory(), decomp.Ary2K4)
+}
+
+func BenchmarkFig6BitonicFixedHome(b *testing.B) {
+	benchBitonic(b, 8, 1024, fixedhome.Factory(), decomp.Ary2)
+}
+
+func BenchmarkFig7BitonicScale16x16AccessTree24(b *testing.B) {
+	benchBitonic(b, 16, 1024, accesstree.Factory(), decomp.Ary2K4)
+}
+
+// --- Figures 8/9/10: Barnes-Hut on one mesh, strategy sweep ---
+
+func benchBarnesHut(b *testing.B, rows, cols, n int, f core.Factory, spec decomp.Spec) {
+	var total, build, force metrics.Result
+	for i := 0; i < b.N; i++ {
+		m := machine(rows, cols, f, spec)
+		col := metrics.New(m.Net)
+		_, err := barneshut.Run(m, barneshut.Config{
+			N: n, Steps: 4, MeasureFrom: 2, Seed: 3, WithCompute: true,
+		}, col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = col.Total()
+		build, _ = col.Phase(barneshut.PhaseBuild)
+		force, _ = col.Phase(barneshut.PhaseForce)
+	}
+	b.ReportMetric(float64(total.Cong.MaxMsgs), "fig8-congestion-msgs")
+	b.ReportMetric(total.TimeUS/1000, "fig8-simulated-ms")
+	b.ReportMetric(float64(build.Cong.MaxMsgs), "fig9-build-congestion-msgs")
+	b.ReportMetric(float64(force.Cong.MaxMsgs), "fig10-force-congestion-msgs")
+	b.ReportMetric(force.MaxComputeUS/1000, "fig10-local-compute-ms")
+}
+
+func BenchmarkFig8BarnesHutFixedHome(b *testing.B) {
+	benchBarnesHut(b, 8, 8, 1500, fixedhome.Factory(), decomp.Ary4)
+}
+
+func BenchmarkFig8BarnesHutAccessTree16(b *testing.B) {
+	benchBarnesHut(b, 8, 8, 1500, accesstree.Factory(), decomp.Ary16)
+}
+
+func BenchmarkFig8BarnesHutAccessTree4K16(b *testing.B) {
+	benchBarnesHut(b, 8, 8, 1500, accesstree.Factory(), decomp.Ary4K16)
+}
+
+func BenchmarkFig8BarnesHutAccessTree4(b *testing.B) {
+	benchBarnesHut(b, 8, 8, 1500, accesstree.Factory(), decomp.Ary4)
+}
+
+func BenchmarkFig8BarnesHutAccessTree2(b *testing.B) {
+	benchBarnesHut(b, 8, 8, 1500, accesstree.Factory(), decomp.Ary2)
+}
+
+// Figures 9 and 10 are phase views of the same runs; their metrics are
+// reported by the Fig8 benchmarks above (fig9-*/fig10-* metrics).
+
+// --- Figure 11: Barnes-Hut scaling with N = 200·P ---
+
+func BenchmarkFig11BarnesHutScale8x16AccessTree4K8(b *testing.B) {
+	benchBarnesHut(b, 8, 16, 200*8*16/4, accesstree.Factory(), decomp.Ary4K8)
+}
+
+func BenchmarkFig11BarnesHutScale8x16FixedHome(b *testing.B) {
+	benchBarnesHut(b, 8, 16, 200*8*16/4, fixedhome.Factory(), decomp.Ary4)
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// D1: modular vs fully random access tree embedding.
+func BenchmarkAblationEmbeddingModular(b *testing.B) {
+	benchMatmul(b, 8, 256, accesstree.Factory(), decomp.Ary4)
+}
+
+func BenchmarkAblationEmbeddingRandom(b *testing.B) {
+	benchMatmul(b, 8, 256,
+		accesstree.FactoryOpts(accesstree.Options{RandomEmbedding: true}), decomp.Ary4)
+}
+
+// D2: tree arity sweep (2-ary vs 16-ary extremes; see ablation-arity in
+// cmd/experiments for the full table).
+func BenchmarkAblationArity2(b *testing.B) {
+	benchMatmul(b, 8, 256, accesstree.Factory(), decomp.Ary2)
+}
+
+func BenchmarkAblationArity16(b *testing.B) {
+	benchMatmul(b, 8, 256, accesstree.Factory(), decomp.Ary16)
+}
+
+// D7: wormhole backpressure on/off.
+func benchBackpressure(b *testing.B, off bool) {
+	params := mesh.GCelParams()
+	params.NoBackpressure = off
+	var lastTime float64
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(core.Config{
+			Rows: 8, Cols: 8, Seed: 5, Tree: decomp.Ary4,
+			Net: params, Strategy: fixedhome.Factory(),
+		})
+		res, err := matmul.RunDSM(m, matmul.Config{BlockInts: 256, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastTime = res.ElapsedUS
+	}
+	b.ReportMetric(lastTime/1000, "simulated-ms")
+}
+
+func BenchmarkAblationBackpressureOn(b *testing.B)  { benchBackpressure(b, false) }
+func BenchmarkAblationBackpressureOff(b *testing.B) { benchBackpressure(b, true) }
+
+// --- Protocol micro-benchmarks ---
+
+// BenchmarkReadLocalHit measures the fast path: reading a variable whose
+// copy is already local (the 99%-hit case of the Barnes-Hut force phase).
+func BenchmarkReadLocalHit(b *testing.B) {
+	m := machine(4, 4, accesstree.Factory(), decomp.Ary4)
+	v := m.AllocAt(0, 64, 1)
+	err := m.Run(func(p *core.Proc) {
+		if p.ID != 0 {
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = p.Read(v)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRemoteReadAT measures full remote read transactions through the
+// access tree (write-invalidate between reads so every read misses).
+func BenchmarkRemoteReadAT(b *testing.B) {
+	benchRemoteRead(b, accesstree.Factory(), decomp.Ary4)
+}
+
+// BenchmarkRemoteReadFH is the same through the fixed home strategy.
+func BenchmarkRemoteReadFH(b *testing.B) {
+	benchRemoteRead(b, fixedhome.Factory(), decomp.Ary4)
+}
+
+func benchRemoteRead(b *testing.B, f core.Factory, spec decomp.Spec) {
+	m := machine(4, 4, f, spec)
+	v := m.AllocAt(0, 1024, 1)
+	err := m.Run(func(p *core.Proc) {
+		if p.ID == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			if p.ID == 0 {
+				p.Write(v, i) // invalidate the reader's copy
+			}
+			p.Barrier()
+			if p.ID == 15 {
+				_ = p.Read(v) // guaranteed remote miss
+			}
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures one full tree barrier on 64 processors.
+func BenchmarkBarrier(b *testing.B) {
+	m := machine(8, 8, accesstree.Factory(), decomp.Ary4)
+	err := m.Run(func(p *core.Proc) {
+		if p.ID == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLockHandoff measures the arrow-protocol lock fast path: each of
+// two corner processors acquires in long local streaks with a token
+// migration when the other corner takes over.
+func BenchmarkLockHandoff(b *testing.B) {
+	m := machine(4, 4, accesstree.Factory(), decomp.Ary4)
+	v := m.AllocAt(0, 16, nil)
+	err := m.Run(func(p *core.Proc) {
+		if p.ID != 0 && p.ID != 15 {
+			return
+		}
+		if p.ID == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			p.Lock(v)
+			p.Unlock(v)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Command divasim runs a single application/strategy configuration on the
+// simulated mesh and reports congestion and execution time — the
+// exploration tool behind the experiment harness.
+//
+// Examples:
+//
+//	divasim -app matmul -strategy at4 -mesh 16x16 -block 1024
+//	divasim -app bitonic -strategy at2k4 -mesh 8x8 -keys 4096
+//	divasim -app barneshut -strategy fixedhome -mesh 8x8 -bodies 4000
+//	divasim -app matmul -strategy handopt -mesh 32x32 -block 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"diva/internal/apps/barneshut"
+	"diva/internal/apps/bitonic"
+	"diva/internal/apps/matmul"
+	"diva/internal/core"
+	"diva/internal/core/accesstree"
+	"diva/internal/core/fixedhome"
+	"diva/internal/decomp"
+	"diva/internal/metrics"
+)
+
+var strategies = map[string]struct {
+	fact core.Factory
+	spec decomp.Spec
+}{
+	"fixedhome": {fixedhome.Factory(), decomp.Ary4},
+	"at2":       {accesstree.Factory(), decomp.Ary2},
+	"at4":       {accesstree.Factory(), decomp.Ary4},
+	"at16":      {accesstree.Factory(), decomp.Ary16},
+	"at2k4":     {accesstree.Factory(), decomp.Ary2K4},
+	"at4k8":     {accesstree.Factory(), decomp.Ary4K8},
+	"at4k16":    {accesstree.Factory(), decomp.Ary4K16},
+	"atrandom":  {accesstree.FactoryOpts(accesstree.Options{RandomEmbedding: true}), decomp.Ary4},
+	"handopt":   {nil, decomp.Ary2},
+}
+
+func parseMesh(s string) (int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mesh %q: want ROWSxCOLS", s)
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, c, nil
+}
+
+func main() {
+	app := flag.String("app", "matmul", "application: matmul, bitonic, barneshut")
+	strat := flag.String("strategy", "at4", "data management strategy: fixedhome, at2, at4, at16, at2k4, at4k8, at4k16, atrandom, handopt")
+	meshFlag := flag.String("mesh", "8x8", "mesh dimensions ROWSxCOLS")
+	block := flag.Int("block", 1024, "matmul: block size in integers (perfect square)")
+	keys := flag.Int("keys", 4096, "bitonic: keys per processor")
+	bodies := flag.Int("bodies", 4000, "barneshut: number of bodies")
+	steps := flag.Int("steps", 7, "barneshut: time steps (last steps after -measure are measured)")
+	measure := flag.Int("measure", 2, "barneshut: first measured step")
+	compute := flag.Bool("compute", false, "charge local computation costs (matmul/bitonic)")
+	seed := flag.Uint64("seed", 1999, "random seed")
+	capacity := flag.Int("capacity", 0, "cache capacity per node in bytes (0 = unbounded)")
+	verbose := flag.Bool("v", false, "print per-message-kind statistics")
+	heatmap := flag.Bool("heatmap", false, "print a per-link load heatmap (deciles of the busiest link)")
+	flag.Parse()
+
+	rows, cols, err := parseMesh(*meshFlag)
+	if err != nil {
+		fail(err)
+	}
+	sc, ok := strategies[*strat]
+	if !ok {
+		fail(fmt.Errorf("unknown strategy %q", *strat))
+	}
+	if sc.fact == nil && *app == "barneshut" {
+		fail(fmt.Errorf("barneshut has no hand-optimized strategy (see §3.3 of the paper)"))
+	}
+
+	m := core.NewMachine(core.Config{
+		Rows: rows, Cols: cols, Seed: *seed, Tree: sc.spec,
+		Strategy: sc.fact, CacheCapacity: *capacity,
+	})
+
+	var elapsed float64
+	var phases *metrics.Collector
+	switch *app {
+	case "matmul":
+		cfg := matmul.Config{BlockInts: *block, WithCompute: *compute, OpUS: 3.45, Seed: *seed}
+		var res matmul.Result
+		if sc.fact == nil {
+			res, err = matmul.RunHandOpt(m, cfg)
+		} else {
+			res, err = matmul.RunDSM(m, cfg)
+		}
+		elapsed = res.ElapsedUS
+	case "bitonic":
+		cfg := bitonic.Config{KeysPerProc: *keys, WithCompute: *compute, CompareUS: 1.0, Seed: *seed}
+		var res bitonic.Result
+		if sc.fact == nil {
+			res, err = bitonic.RunHandOpt(m, cfg)
+		} else {
+			res, err = bitonic.RunDSM(m, cfg)
+		}
+		elapsed = res.ElapsedUS
+	case "barneshut":
+		phases = metrics.New(m.Net)
+		var res barneshut.Result
+		res, err = barneshut.Run(m, barneshut.Config{
+			N: *bodies, Steps: *steps, MeasureFrom: *measure,
+			Seed: *seed, WithCompute: true,
+		}, phases)
+		elapsed = res.ElapsedUS
+	default:
+		err = fmt.Errorf("unknown application %q", *app)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	name := "hand-optimized"
+	if sc.fact != nil {
+		name = m.Strat.Name()
+	}
+	fmt.Printf("application:  %s on %s\n", *app, m.Mesh)
+	fmt.Printf("strategy:     %s\n", name)
+	fmt.Printf("elapsed:      %.1f ms (simulated)\n", elapsed/1000)
+	c := m.Net.Congestion(nil)
+	fmt.Printf("congestion:   %d messages / %d bytes on the busiest link\n", c.MaxMsgs, c.MaxBytes)
+	fmt.Printf("total load:   %d messages / %d bytes\n", c.TotalMsgs, c.TotalBytes)
+	if phases != nil && phases.Enabled() {
+		fmt.Printf("\nmeasured steps (from step %d):\n", *measure)
+		tot := phases.Total()
+		fmt.Printf("  total: time %.1f ms, congestion %d msgs\n", tot.TimeUS/1000, tot.Cong.MaxMsgs)
+		for _, ph := range phases.PhaseNames() {
+			res, _ := phases.Phase(ph)
+			fmt.Printf("  %-10s time %10.1f ms, congestion %8d msgs, compute %8.1f ms\n",
+				ph, res.TimeUS/1000, res.Cong.MaxMsgs, res.MaxComputeUS/1000)
+		}
+	}
+	ev := uint64(0)
+	for n := 0; n < m.P(); n++ {
+		ev += m.Cache(n).Evictions()
+	}
+	if ev > 0 {
+		fmt.Printf("replacements: %d copies evicted (capacity %d bytes/node)\n", ev, *capacity)
+	}
+	if *verbose {
+		msgs, bytes := m.Net.SendStats()
+		fmt.Println("\nmessages by kind:")
+		for k := 0; k < 256; k++ {
+			if msgs[k] > 0 {
+				fmt.Printf("  kind %3d: %8d msgs, %12d bytes\n", k, msgs[k], bytes[k])
+			}
+		}
+	}
+	if *heatmap {
+		fmt.Println("\nhorizontal link load (deciles of the busiest link):")
+		fmt.Print(metrics.HeatmapMsgs(m.Mesh, m.Net.Loads(), nil))
+		fmt.Println("\nbusiest links:")
+		for _, l := range metrics.TopLinks(m.Mesh, m.Net.Loads(), 8) {
+			fmt.Println(" ", l)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "divasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command experiments regenerates the figures of the paper's evaluation.
+//
+// Usage:
+//
+//	experiments [-fig N] [-quick] [-seed S]
+//
+// With no -fig flag every figure is produced. -quick shrinks the meshes
+// and inputs so the whole suite finishes in well under a minute; without
+// it the original problem sizes (16×16 and 32×32 meshes, up to 60,000
+// bodies) are simulated, which takes tens of minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"diva/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(experiments.Figures, ", ")+", or all")
+	quick := flag.Bool("quick", false, "scaled-down inputs (seconds instead of tens of minutes)")
+	seed := flag.Uint64("seed", 1999, "random seed (1999: the year of the paper)")
+	flag.Parse()
+
+	r := experiments.New(os.Stdout, *quick, *seed)
+	var err error
+	if *fig == "all" {
+		err = r.RunAll()
+	} else {
+		err = r.Run(*fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

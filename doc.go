@@ -1,0 +1,14 @@
+// Package diva is the root of a reproduction of "Data Management in
+// Networks: Experimental Evaluation of a Provably Good Strategy" (Krick,
+// Meyer auf der Heide, Räcke, Vöcking, Westermann; SPAA 1999): the DIVA
+// (Distributed Variables) library — transparent access to global variables
+// on a simulated mesh-connected parallel machine — together with the access
+// tree data management strategy, the fixed home baseline, the paper's three
+// applications (matrix multiplication, bitonic sorting, Barnes-Hut) and a
+// harness that regenerates every figure of the evaluation.
+//
+// See README.md for an overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The library lives under
+// internal/: start with internal/core (the DIVA API) and
+// internal/core/accesstree (the paper's contribution).
+package diva

@@ -1,0 +1,61 @@
+// Matrix-square walkthrough: the paper's first application (§3.1) on an
+// 8×8 mesh, comparing all three data management approaches on the same
+// input, with the result verified against a sequential computation.
+//
+// Run with:
+//
+//	go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"diva/internal/apps/matmul"
+	"diva/internal/core"
+	"diva/internal/core/accesstree"
+	"diva/internal/core/fixedhome"
+	"diva/internal/decomp"
+)
+
+func main() {
+	const side = 8
+	cfg := matmul.Config{
+		BlockInts: 256, // each block is a 16x16 submatrix
+		Check:     true,
+		Seed:      7,
+	}
+
+	type entry struct {
+		name string
+		fact core.Factory
+		spec decomp.Spec
+	}
+	for _, e := range []entry{
+		{"hand-optimized message passing", nil, decomp.Ary2},
+		{"4-ary access tree", accesstree.Factory(), decomp.Ary4},
+		{"fixed home (ownership scheme)", fixedhome.Factory(), decomp.Ary4},
+	} {
+		m := core.NewMachine(core.Config{
+			Rows: side, Cols: side, Seed: 1, Tree: e.spec, Strategy: e.fact,
+		})
+		var (
+			res matmul.Result
+			err error
+		)
+		if e.fact == nil {
+			res, err = matmul.RunHandOpt(m, cfg)
+		} else {
+			res, err = matmul.RunDSM(m, cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(1)
+		}
+		c := m.Net.Congestion(nil)
+		fmt.Printf("%-32s time %8.1f ms   congestion %8d bytes   verified=%v\n",
+			e.name, res.ElapsedUS/1000, c.MaxBytes, res.Verified)
+	}
+	fmt.Println("\nThe access tree beats the fixed home on both metrics; the hand-optimized")
+	fmt.Println("strategy (full knowledge of the access pattern) is the lower bound.")
+}

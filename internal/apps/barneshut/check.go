@@ -1,0 +1,71 @@
+package barneshut
+
+import (
+	"math"
+
+	"diva/internal/core"
+)
+
+// This file provides reference computations used by tests and the
+// experiment harness to validate the simulation physics.
+
+// DirectForces computes the exact O(N²) accelerations for a snapshot.
+func DirectForces(bodies []Body, eps float64) []Vec3 {
+	acc := make([]Vec3, len(bodies))
+	for i := range bodies {
+		for j := range bodies {
+			if i == j {
+				continue
+			}
+			acc[i] = acc[i].Add(accel(bodies[i].Pos, bodies[j].Pos, bodies[j].Mass, eps))
+		}
+	}
+	return acc
+}
+
+// Energy returns the total energy (kinetic + softened potential) of a
+// snapshot. Approximately conserved by the integrator for small Dt.
+func Energy(bodies []Body, eps float64) float64 {
+	var kin, pot float64
+	for i := range bodies {
+		v := bodies[i].Vel
+		kin += 0.5 * bodies[i].Mass * v.Dot(v)
+		for j := i + 1; j < len(bodies); j++ {
+			d := bodies[i].Pos.Sub(bodies[j].Pos)
+			r2 := d.Dot(d) + eps*eps
+			pot -= bodies[i].Mass * bodies[j].Mass / math.Sqrt(r2)
+		}
+	}
+	return kin + pot
+}
+
+// FinalBodies extracts the body values after a run, in allocation order.
+func FinalBodies(m *core.Machine, res Result) []Body {
+	out := make([]Body, len(res.BodyVars))
+	for i, v := range res.BodyVars {
+		out[i] = m.Var(v).Data.(Body)
+	}
+	return out
+}
+
+// WalkTree applies fn to every (ref, depth) reachable from the final tree
+// root, reading variables directly (outside the simulation). Used by tests
+// to validate the octree structure.
+func WalkTree(m *core.Machine, root core.VarID, fn func(ref Ref, depth int, cell *Cell)) {
+	var rec func(ref Ref, depth int)
+	rec = func(ref Ref, depth int) {
+		if ref.Empty() {
+			return
+		}
+		if ref.IsBody() {
+			fn(ref, depth, nil)
+			return
+		}
+		c := m.Var(ref.VarID()).Data.(Cell)
+		fn(ref, depth, &c)
+		for _, ch := range c.Child {
+			rec(ch, depth+1)
+		}
+	}
+	rec(MkCellRef(root), 0)
+}

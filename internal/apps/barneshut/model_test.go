@@ -1,0 +1,170 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the physics substrate.
+
+func TestVec3Algebra(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 1
+		}
+		return math.Mod(v, 1e9)
+	}
+	check := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		// Commutativity and inverses.
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		if a.Sub(a) != (Vec3{}) {
+			return false
+		}
+		// Scaling distributes.
+		l := a.Add(b).Scale(2)
+		r := a.Scale(2).Add(b.Scale(2))
+		return math.Abs(l.X-r.X) < 1e-9 && math.Abs(l.Y-r.Y) < 1e-9 && math.Abs(l.Z-r.Z) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotNormConsistent(t *testing.T) {
+	check := func(x, y, z float64) bool {
+		// Clamp to avoid overflow in the square.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 1e6)
+		}
+		v := Vec3{clamp(x), clamp(y), clamp(z)}
+		n := v.Norm()
+		return math.Abs(n*n-v.Dot(v)) <= 1e-6*(1+v.Dot(v))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxEnvelope(t *testing.T) {
+	a := Vec3{1, 5, -2}
+	b := Vec3{3, -1, 0}
+	lo := a.Min(b)
+	hi := a.Max(b)
+	if lo != (Vec3{1, -1, -2}) || hi != (Vec3{3, 5, 0}) {
+		t.Fatalf("Min=%v Max=%v", lo, hi)
+	}
+}
+
+// TestAccelNewtonianProperties: the softened kernel points from p toward q
+// and decays with distance.
+func TestAccelNewtonianProperties(t *testing.T) {
+	p := Vec3{0, 0, 0}
+	near := accel(p, Vec3{1, 0, 0}, 1, 0.05)
+	far := accel(p, Vec3{4, 0, 0}, 1, 0.05)
+	if near.X <= 0 || near.Y != 0 || near.Z != 0 {
+		t.Fatalf("acceleration direction wrong: %v", near)
+	}
+	if far.X >= near.X {
+		t.Fatal("acceleration does not decay with distance")
+	}
+	// ~1/r² decay: 16x weaker at 4x the distance (softening negligible).
+	if ratio := near.X / far.X; ratio < 15 || ratio > 17 {
+		t.Fatalf("decay ratio %.1f, want ~16", ratio)
+	}
+	// Softening bounds the force at zero distance.
+	atZero := accel(p, p, 1, 0.05)
+	if math.IsNaN(atZero.X) || math.IsInf(atZero.X, 0) {
+		t.Fatal("softening failed at zero distance")
+	}
+}
+
+// TestAccelPairSymmetry: equal masses pull each other equally and
+// oppositely.
+func TestAccelPairSymmetry(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-2, 0, 1}
+	ab := accel(a, b, 0.5, 0.05)
+	ba := accel(b, a, 0.5, 0.05)
+	sum := ab.Add(ba)
+	if sum.Norm() > 1e-12 {
+		t.Fatalf("forces not antisymmetric: %v", sum)
+	}
+}
+
+// TestOctantPartitionsSpace: every point maps to exactly one octant, and
+// octant centers are distinct.
+func TestOctantPartitionsSpace(t *testing.T) {
+	center := Vec3{0, 0, 0}
+	seen := make(map[int]bool)
+	for i := 0; i < 8; i++ {
+		sc := subCenter(center, 2, i)
+		idx, _ := octant(center, 2, sc)
+		if idx != i {
+			t.Fatalf("octant(subCenter(%d)) = %d", i, idx)
+		}
+		if seen[idx] {
+			t.Fatalf("octant %d repeated", idx)
+		}
+		seen[idx] = true
+	}
+	check := func(x, y, z float64) bool {
+		p := Vec3{math.Mod(x, 2), math.Mod(y, 2), math.Mod(z, 2)}
+		idx, sub := octant(center, 2, p)
+		if idx < 0 || idx > 7 {
+			return false
+		}
+		// The reported sub-center must be the octant's canonical center.
+		return sub == subCenter(center, 2, idx)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectForcesMomentumConservation: internal forces sum to ~zero
+// (weighted by mass).
+func TestDirectForcesMomentumConservation(t *testing.T) {
+	bodies := Plummer(64, 5)
+	acc := DirectForces(bodies, 0.05)
+	var sum Vec3
+	for i, a := range acc {
+		sum = sum.Add(a.Scale(bodies[i].Mass))
+	}
+	if sum.Norm() > 1e-12 {
+		t.Fatalf("total internal force %v, want ~0", sum)
+	}
+}
+
+// TestEnergyNegativeForBoundSystem: a Plummer cluster is gravitationally
+// bound: total energy < 0.
+func TestEnergyNegativeForBoundSystem(t *testing.T) {
+	bodies := Plummer(256, 9)
+	if e := Energy(bodies, 0.05); e >= 0 {
+		t.Fatalf("Plummer cluster energy %v, want negative", e)
+	}
+}
+
+// TestPlummerVirialBalance: for the Plummer model in virial equilibrium,
+// 2K + U ≈ 0 within sampling noise.
+func TestPlummerVirialBalance(t *testing.T) {
+	bodies := Plummer(3000, 13)
+	var kin float64
+	for _, b := range bodies {
+		kin += 0.5 * b.Mass * b.Vel.Dot(b.Vel)
+	}
+	total := Energy(bodies, 0)
+	pot := total - kin
+	virial := (2*kin + pot) / math.Abs(pot)
+	if math.Abs(virial) > 0.15 {
+		t.Fatalf("virial ratio (2K+U)/|U| = %.3f, want ~0", virial)
+	}
+}

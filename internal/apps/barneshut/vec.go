@@ -1,0 +1,43 @@
+package barneshut
+
+import "math"
+
+// Vec3 is a point or vector in 3-space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns the Euclidean length.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Min returns the componentwise minimum.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the componentwise maximum.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// accel returns the gravitational acceleration that a point mass m at
+// position q exerts on a body at position p, with Plummer softening eps:
+// a = G·m·(q-p) / (|q-p|² + eps²)^(3/2), G = 1.
+func accel(p, q Vec3, m, eps float64) Vec3 {
+	d := q.Sub(p)
+	r2 := d.Dot(d) + eps*eps
+	inv := 1 / (r2 * math.Sqrt(r2))
+	return d.Scale(m * inv)
+}

@@ -1,0 +1,98 @@
+package matmul
+
+import (
+	"testing"
+
+	"diva/internal/decomp"
+	"diva/internal/mesh"
+)
+
+// The tests in this file pin the communication structure of the
+// hand-optimized strategy against the paper's own analysis (§3.1).
+
+// TestHandOptStartupsPerNode: "the number of startups of the hand-optimized
+// strategy is about 2·√P per node".
+func TestHandOptStartupsPerNode(t *testing.T) {
+	m := newMachine(8, 8, nil, decomp.Ary2)
+	if _, err := RunHandOpt(m, Config{BlockInts: 64, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := m.Net.SendStats()
+	sends := msgs[mesh.KindInbox]
+	perNode := float64(sends) / float64(m.P())
+	// 2·√P = 16; boundary nodes send fewer, so the average is somewhat
+	// below; it must be within [√P, 2·√P].
+	if perNode < 8 || perNode > 16 {
+		t.Fatalf("%.1f sends per node, want within [8,16] (~2*sqrt(P)=16)", perNode)
+	}
+}
+
+// TestHandOptOnlyNeighborMessages: every message travels exactly one link.
+func TestHandOptOnlyNeighborMessages(t *testing.T) {
+	m := newMachine(4, 4, nil, decomp.Ary2)
+	if _, err := RunHandOpt(m, Config{BlockInts: 16, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := m.Net.SendStats()
+	c := m.Net.Congestion(nil)
+	// Total link traversals == number of sends: each message crosses one
+	// link (neighbors only).
+	if c.TotalMsgs != msgs[mesh.KindInbox] {
+		t.Fatalf("%d link traversals for %d messages: non-neighbor sends",
+			c.TotalMsgs, msgs[mesh.KindInbox])
+	}
+}
+
+// TestHandOptTotalLoadMinimal: the total communication load matches the
+// closed form: every block travels (s-1) row hops + (s-1) column hops.
+func TestHandOptTotalLoadMinimal(t *testing.T) {
+	for _, side := range []int{2, 4, 8} {
+		m := newMachine(side, side, nil, decomp.Ary2)
+		cfg := Config{BlockInts: 64, Seed: 3}
+		if _, err := RunHandOpt(m, cfg); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Net.Congestion(nil)
+		blocks := uint64(side * side)
+		wantTraversals := blocks * uint64(2*(side-1))
+		if c.TotalMsgs != wantTraversals {
+			t.Fatalf("side %d: %d traversals, want %d", side, c.TotalMsgs, wantTraversals)
+		}
+		blockWire := uint64(4*cfg.BlockInts + 16)
+		if c.TotalBytes != wantTraversals*blockWire {
+			t.Fatalf("side %d: %d bytes, want %d", side, c.TotalBytes, wantTraversals*blockWire)
+		}
+	}
+}
+
+// TestHandOptCongestionLinearInBlockSize: congestion grows linearly in m
+// ("the hand-optimized strategy achieves minimal congestion growing linear
+// in the block size").
+func TestHandOptCongestionLinearInBlockSize(t *testing.T) {
+	cong := func(block int) uint64 {
+		m := newMachine(4, 4, nil, decomp.Ary2)
+		if _, err := RunHandOpt(m, Config{BlockInts: block, Seed: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Net.Congestion(nil).MaxBytes
+	}
+	c64, c256 := cong(64), cong(256)
+	// 4x larger blocks: congestion must grow by slightly less than 4x
+	// (headers amortize).
+	ratio := float64(c256) / float64(c64)
+	if ratio < 3.5 || ratio > 4.0 {
+		t.Fatalf("congestion grew %.2fx for 4x blocks", ratio)
+	}
+}
+
+// TestNonSquareMeshRejected: the blocked algorithm needs a square grid.
+func TestNonSquareMeshRejected(t *testing.T) {
+	m := newMachine(2, 8, nil, decomp.Ary2)
+	if _, err := RunHandOpt(m, Config{BlockInts: 16}); err == nil {
+		t.Fatal("2x8 mesh accepted")
+	}
+	m2 := newMachine(2, 8, nil, decomp.Ary2)
+	if _, err := RunDSM(m2, Config{BlockInts: 16}); err == nil {
+		t.Fatal("2x8 mesh accepted by DSM variant")
+	}
+}

@@ -1,0 +1,273 @@
+// Package accesstree implements the access tree data management strategy of
+// the paper (§2) — the primary contribution evaluated there.
+//
+// For each global variable, an access tree (a copy of the hierarchical mesh
+// decomposition tree) is embedded into the mesh: the root is mapped to a
+// uniformly random processor and every other node is derived from its
+// parent by the paper's modular rule (decomp.EmbedChild), the "practical
+// improvement" over the fully random embedding of the theoretical analysis
+// (which remains available for the ablation study).
+//
+// On every access tree a simple caching protocol runs. The nodes holding a
+// copy of a variable always form a connected component of the tree:
+//
+//   - Read: the requesting leaf sends a request along tree edges to the
+//     nearest node holding a copy; the copy travels back along the same
+//     path and every node on the path keeps a copy.
+//   - Write: the new value travels to the nearest copy-holding node u; u
+//     invalidates every other copy via a multicast along the component's
+//     tree edges (acknowledged), then the modified copy travels back to
+//     the writer, again leaving copies on the path.
+//
+// All communication — including the invalidation multicast and the
+// lock/arrow traffic — follows the branches of the access tree; every tree
+// hop is a real message between the processors simulating the two tree
+// nodes (the source of the startup costs the paper analyzes).
+//
+// Copies are located with directional pointers ("data tracking"): every
+// tree node knows the direction (parent or a child) of the copy component.
+// Pointers are only materialized once they deviate from the initial
+// configuration, in which all pointers lead to the creator's leaf.
+package accesstree
+
+import (
+	"fmt"
+
+	"diva/internal/core"
+	"diva/internal/decomp"
+	"diva/internal/mesh"
+	"diva/internal/xrand"
+)
+
+// Options tunes the strategy.
+type Options struct {
+	// RandomEmbedding switches from the paper's modular embedding to the
+	// fully random embedding of the theoretical analysis (ablation D1).
+	RandomEmbedding bool
+	// RemapThreshold enables the remapping step of the theoretical
+	// strategy that the paper's implementation omits ("the original
+	// description of the access tree strategy intends that the embedding
+	// of an access tree node is changed when too many accesses are
+	// directed to the same node"): after RemapThreshold accesses, a tree
+	// node is re-embedded at a fresh random position of its submesh, its
+	// state migrates there (one data-sized message if it holds a copy,
+	// one control message otherwise), and its tree neighbors are notified
+	// of the new address (one control message each). Requires
+	// RandomEmbedding (under the modular embedding, positions are derived
+	// from the parent and cannot move independently). 0 disables
+	// remapping, reproducing the paper's implementation (decision D3).
+	RemapThreshold int
+}
+
+// Factory returns a core.Factory for the access tree strategy with default
+// options. The tree arity is taken from the machine's decomposition spec.
+func Factory() core.Factory { return FactoryOpts(Options{}) }
+
+// FactoryOpts is Factory with explicit options.
+func FactoryOpts(o Options) core.Factory {
+	if o.RemapThreshold > 0 && !o.RandomEmbedding {
+		panic("accesstree: RemapThreshold requires RandomEmbedding")
+	}
+	return func(m *core.Machine) core.Strategy { return newStrategy(m, o) }
+}
+
+// Message kinds.
+const (
+	kindReadReq   = core.KindStrategyBase + iota // request hop toward a copy
+	kindReadData                                 // copy hop back to the reader
+	kindWriteReq                                 // write request hop (carries the new value)
+	kindWriteData                                // modified copy hop back to the writer
+	kindInval                                    // invalidation hop
+	kindAck                                      // invalidation acknowledgment hop
+	kindEvict                                    // replacement notification
+	kindLockReq                                  // arrow-protocol lock request hop
+	kindLockToken                                // lock token transfer
+	kindRemapMove                                // node migration (remapping, D3)
+	kindRemapNote                                // new-address notification
+)
+
+// Directional pointer values; values >= 0 name a child index.
+const (
+	towardUp   = -1
+	towardSelf = -2
+)
+
+type strategy struct {
+	m    *core.Machine
+	t    *decomp.Tree
+	rng  *xrand.RNG
+	opts Options
+	// remaps counts node migrations across all variables (ablation D3).
+	remaps int
+}
+
+func newStrategy(m *core.Machine, o Options) *strategy {
+	s := &strategy{m: m, t: m.Tree, rng: m.RNG.Split(), opts: o}
+	net := m.Net
+	net.Handle(kindReadReq, s.onReq)
+	net.Handle(kindReadData, s.onData)
+	net.Handle(kindWriteReq, s.onReq)
+	net.Handle(kindWriteData, s.onData)
+	net.Handle(kindInval, s.onInval)
+	net.Handle(kindAck, s.onAck)
+	net.Handle(kindEvict, s.onEvict)
+	net.Handle(kindLockReq, s.onLockReq)
+	net.Handle(kindLockToken, s.onLockToken)
+	net.Handle(kindRemapMove, s.onRemapMove)
+	net.Handle(kindRemapNote, s.onRemapNote)
+	return s
+}
+
+func (s *strategy) Name() string {
+	name := fmt.Sprintf("%s access tree", s.t.Spec.Name())
+	if s.opts.RandomEmbedding {
+		name += " (random embedding)"
+	}
+	return name
+}
+
+// varState is the per-variable protocol state.
+type varState struct {
+	rootPos    mesh.Coord
+	seed       uint64 // for the random-embedding ablation
+	creatorPos mesh.Coord
+	// nodes holds the tree-node states that deviate from the initial
+	// configuration (everything pointing at the creator's leaf).
+	nodes map[int]*nodeState
+	// pending tracks in-flight invalidation acknowledgments per tree node.
+	pending map[int]*invalWait
+	lock    *lockState
+	// posOverride holds remapped node positions (random embedding with
+	// Options.RemapThreshold only); remaps counts migrations.
+	posOverride map[int]mesh.Coord
+	remaps      int
+}
+
+type nodeState struct {
+	member bool
+	toward int32
+	edges  uint32 // bit 0: parent is a member; bit i+1: child i is a member
+	// accesses counts protocol messages handled at this node, driving the
+	// optional remapping.
+	accesses uint32
+}
+
+type invalWait struct {
+	n       int // outstanding acks
+	ackNode int // tree node to acknowledge to (-1: this is the multicast root)
+	done    func()
+}
+
+const parentBit = uint32(1)
+
+func childBit(i int) uint32 { return 1 << uint(i+1) }
+
+// state returns the variable's strategy state.
+func vstate(v *core.Variable) *varState { return v.State.(*varState) }
+
+// node returns the (possibly default) state of a tree node without
+// allocating.
+func (s *strategy) node(vs *varState, v *core.Variable, id int) nodeState {
+	if st, ok := vs.nodes[id]; ok {
+		return *st
+	}
+	return nodeState{member: s.defaultMember(vs, id), toward: s.defaultToward(vs, id)}
+}
+
+// nodePtr returns a mutable state for a tree node, materializing the
+// default if needed.
+func (s *strategy) nodePtr(vs *varState, id int) *nodeState {
+	if st, ok := vs.nodes[id]; ok {
+		return st
+	}
+	st := &nodeState{member: s.defaultMember(vs, id), toward: s.defaultToward(vs, id)}
+	vs.nodes[id] = st
+	return st
+}
+
+// defaultMember: in the initial configuration only the creator's leaf holds
+// a copy.
+func (s *strategy) defaultMember(vs *varState, id int) bool {
+	n := &s.t.Nodes[id]
+	return n.Leaf() && n.Rect.R0 == vs.creatorPos.Row && n.Rect.C0 == vs.creatorPos.Col
+}
+
+// defaultToward: pointers lead toward the creator's leaf.
+func (s *strategy) defaultToward(vs *varState, id int) int32 {
+	n := &s.t.Nodes[id]
+	if !n.Rect.Contains(vs.creatorPos) {
+		return towardUp
+	}
+	if n.Leaf() {
+		return towardSelf
+	}
+	for i, c := range n.Children {
+		if s.t.Nodes[c].Rect.Contains(vs.creatorPos) {
+			return int32(i)
+		}
+	}
+	panic("accesstree: no child contains the creator position")
+}
+
+// posOf computes the mesh position of a tree node under the variable's
+// embedding. The modular embedding derives positions root-down; the random
+// embedding is a pure hash. Cost is O(depth) arithmetic, no messages and
+// no allocation: the embedding is globally known given the variable's
+// root placement.
+func (s *strategy) posOf(vs *varState, id int) mesh.Coord {
+	if s.opts.RandomEmbedding {
+		if vs.posOverride != nil {
+			if pos, ok := vs.posOverride[id]; ok {
+				return pos
+			}
+		}
+		return s.t.RandomPos(vs.seed, id)
+	}
+	var chain [128]int32
+	n := 0
+	for cur := id; cur != -1; cur = s.t.Nodes[cur].Parent {
+		chain[n] = int32(cur)
+		n++
+	}
+	pos := vs.rootPos
+	for i := n - 2; i >= 0; i-- {
+		pos = s.t.EmbedChild(pos, int(chain[i]))
+	}
+	return pos
+}
+
+// procOf returns the processor simulating tree node id.
+func (s *strategy) procOf(vs *varState, id int) int {
+	return s.m.Mesh.ID(s.posOf(vs, id))
+}
+
+func (s *strategy) InitVar(v *Variable) {
+	vs := &varState{
+		rootPos:    s.t.RandomRoot(s.rng),
+		seed:       s.rng.Uint64(),
+		creatorPos: s.m.Mesh.CoordOf(v.Creator),
+		nodes:      make(map[int]*nodeState),
+		pending:    make(map[int]*invalWait),
+	}
+	v.State = vs
+	leaf := s.t.LeafOfProc[v.Creator]
+	st := s.nodePtr(vs, leaf)
+	st.member = true
+	st.toward = towardSelf
+	s.cacheInsert(vs, v, leaf, v.Creator)
+}
+
+// Variable aliases core.Variable for readability.
+type Variable = core.Variable
+
+func (s *strategy) FreeVar(v *Variable) {
+	vs := vstate(v)
+	for id, st := range vs.nodes {
+		if st.member {
+			s.m.Cache(s.procOf(vs, id)).Remove(atKey{v.ID, id})
+		}
+	}
+	vs.nodes = nil
+	vs.pending = nil
+	v.State = nil
+}

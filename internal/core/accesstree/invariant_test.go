@@ -1,0 +1,312 @@
+package accesstree
+
+import (
+	"testing"
+
+	"diva/internal/core"
+	"diva/internal/decomp"
+	"diva/internal/xrand"
+)
+
+// The tests in this file are white-box: after driving random read/write
+// traffic through the protocol they inspect the per-variable tree state and
+// verify the structural invariants the competitive analysis relies on:
+//
+//  1. the copy holders form a non-empty connected component of the tree;
+//  2. every directional pointer chain leads to a copy holder;
+//  3. component edge bits are symmetric and span the component;
+//  4. the committed value is the last value written.
+
+func newTestMachine(spec decomp.Spec, rows, cols int, seed uint64) *core.Machine {
+	return core.NewMachine(core.Config{
+		Rows: rows, Cols: cols, Seed: seed, Tree: spec,
+		Strategy: Factory(),
+	})
+}
+
+// members collects the member node set of a variable.
+func members(s *strategy, v *core.Variable) map[int]bool {
+	vs := vstate(v)
+	set := make(map[int]bool)
+	for id := range s.t.Nodes {
+		if s.node(vs, v, id).member {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// checkInvariants validates the four protocol invariants for one variable.
+func checkInvariants(t *testing.T, m *core.Machine, v *core.Variable, want interface{}) {
+	t.Helper()
+	s := m.Strat.(*strategy)
+	vs := vstate(v)
+	set := members(s, v)
+	if len(set) == 0 {
+		t.Fatal("no copy of the variable exists")
+	}
+
+	// 1. Connectivity: BFS through tree edges within the member set.
+	var start int
+	for id := range set {
+		start = id
+		break
+	}
+	visited := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := &s.t.Nodes[cur]
+		nbs := append([]int{}, n.Children...)
+		if n.Parent != -1 {
+			nbs = append(nbs, n.Parent)
+		}
+		for _, nb := range nbs {
+			if set[nb] && !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(visited) != len(set) {
+		t.Fatalf("copy component disconnected: %d members, %d reachable", len(set), len(visited))
+	}
+
+	// 2. Pointer chains terminate at members.
+	for id := range s.t.Nodes {
+		cur := id
+		for steps := 0; ; steps++ {
+			if steps > len(s.t.Nodes) {
+				t.Fatalf("pointer chain from node %d does not terminate", id)
+			}
+			st := s.node(vs, v, cur)
+			if st.member {
+				break
+			}
+			switch st.toward {
+			case towardUp:
+				cur = s.t.Nodes[cur].Parent
+				if cur == -1 {
+					t.Fatalf("pointer chain from %d ran past the root", id)
+				}
+			case towardSelf:
+				t.Fatalf("non-member node %d points to itself", cur)
+			default:
+				cur = s.t.Nodes[cur].Children[st.toward]
+			}
+		}
+	}
+
+	// 3. Edge bits: symmetric, only between members, spanning the component.
+	for id := range set {
+		st := s.node(vs, v, id)
+		n := &s.t.Nodes[id]
+		if st.edges&parentBit != 0 {
+			if n.Parent == -1 {
+				t.Fatalf("root node %d has a parent edge bit", id)
+			}
+			if !set[n.Parent] {
+				t.Fatalf("edge bit from %d to non-member parent", id)
+			}
+			pst := s.node(vs, v, n.Parent)
+			if pst.edges&childBit(n.ChildIndex) == 0 {
+				t.Fatalf("asymmetric edge bits between %d and parent %d", id, n.Parent)
+			}
+		}
+		for i, c := range n.Children {
+			if st.edges&childBit(i) != 0 {
+				if !set[c] {
+					t.Fatalf("edge bit from %d to non-member child %d", id, c)
+				}
+				cst := s.node(vs, v, c)
+				if cst.edges&parentBit == 0 {
+					t.Fatalf("asymmetric edge bits between %d and child %d", id, c)
+				}
+			}
+		}
+	}
+	// Spanning: BFS along edge bits only.
+	visited = map[int]bool{start: true}
+	queue = []int{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		st := s.node(vs, v, cur)
+		n := &s.t.Nodes[cur]
+		if st.edges&parentBit != 0 && !visited[n.Parent] {
+			visited[n.Parent] = true
+			queue = append(queue, n.Parent)
+		}
+		for i, c := range n.Children {
+			if st.edges&childBit(i) != 0 && !visited[c] {
+				visited[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(visited) != len(set) {
+		t.Fatalf("edge bits do not span the component: %d of %d", len(visited), len(set))
+	}
+
+	// 4. Value.
+	if v.Data != want {
+		t.Fatalf("committed value %v, want %v", v.Data, want)
+	}
+}
+
+func TestInvariantsAfterSingleRead(t *testing.T) {
+	m := newTestMachine(decomp.Ary2, 4, 4, 1)
+	v := m.AllocAt(0, 64, "x")
+	if err := m.Run(func(p *core.Proc) {
+		if p.ID == 15 {
+			p.Read(v)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, m, m.Var(v), "x")
+	s := m.Strat.(*strategy)
+	set := members(s, m.Var(v))
+	// The component must contain both leaves.
+	if !set[s.t.LeafOfProc[0]] || !set[s.t.LeafOfProc[15]] {
+		t.Fatal("read did not leave copies at both endpoints")
+	}
+}
+
+func TestInvariantsAfterWriteShrinksComponent(t *testing.T) {
+	m := newTestMachine(decomp.Ary2, 4, 4, 2)
+	v := m.AllocAt(0, 64, 0)
+	if err := m.Run(func(p *core.Proc) {
+		_ = p.Read(v) // everyone holds a copy
+		p.Barrier()
+		if p.ID == 5 {
+			p.Write(v, 99)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, m, m.Var(v), 99)
+	s := m.Strat.(*strategy)
+	set := members(s, m.Var(v))
+	// After the write the component is the path from the old nearest
+	// member (the writer's own leaf, since it held a copy) — so just the
+	// writer's leaf.
+	if !set[s.t.LeafOfProc[5]] {
+		t.Fatal("writer does not hold a copy after its write")
+	}
+	if len(set) != 1 {
+		t.Fatalf("component has %d members after a write by a holder, want 1", len(set))
+	}
+}
+
+func TestWriteByNonHolderLeavesPathCopies(t *testing.T) {
+	m := newTestMachine(decomp.Ary2, 4, 4, 3)
+	v := m.AllocAt(0, 64, 0)
+	if err := m.Run(func(p *core.Proc) {
+		if p.ID == 12 {
+			p.Write(v, 7)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, m, m.Var(v), 7)
+	s := m.Strat.(*strategy)
+	set := members(s, m.Var(v))
+	// Component = tree path from the creator's leaf (nearest member) to
+	// the writer's leaf.
+	path := s.t.TreePath(s.t.LeafOfProc[0], s.t.LeafOfProc[12])
+	if len(set) != len(path) {
+		t.Fatalf("component size %d, want path length %d", len(set), len(path))
+	}
+	for _, n := range path {
+		if !set[n] {
+			t.Fatalf("path node %d missing from component", n)
+		}
+	}
+}
+
+// TestRandomTrafficInvariantsRandomEmbedding repeats the random-traffic
+// invariant check under the theoretical analysis' embedding (ablation D1),
+// with and without remapping.
+func TestRandomTrafficInvariantsRandomEmbedding(t *testing.T) {
+	for _, threshold := range []int{0, 6} {
+		m := core.NewMachine(core.Config{
+			Rows: 4, Cols: 4, Seed: 31, Tree: decomp.Ary2,
+			Strategy: FactoryOpts(Options{RandomEmbedding: true, RemapThreshold: threshold}),
+		})
+		const nvars = 5
+		vars := make([]core.VarID, nvars)
+		for i := range vars {
+			vars[i] = m.AllocAt(i%m.P(), 32, -1)
+		}
+		if err := m.Run(func(p *core.Proc) {
+			r := xrand.New(uint64(p.ID)*3 + 7)
+			for step := 0; step < 10; step++ {
+				vi := r.Intn(nvars)
+				if r.Intn(3) == 0 {
+					p.Write(vars[vi], p.ID*100+step)
+				} else {
+					_ = p.Read(vars[vi])
+				}
+				if step%5 == 4 {
+					p.Barrier()
+				}
+			}
+		}); err != nil {
+			t.Fatalf("threshold %d: %v", threshold, err)
+		}
+		for i := range vars {
+			v := m.Var(vars[i])
+			checkInvariants(t, m, v, v.Data)
+		}
+	}
+}
+
+// TestRandomTrafficInvariants drives random concurrent reads and writes and
+// then checks every invariant, across arities and mesh shapes.
+func TestRandomTrafficInvariants(t *testing.T) {
+	specs := []decomp.Spec{decomp.Ary2, decomp.Ary4, decomp.Ary16, decomp.Ary2K4, decomp.Ary4K16}
+	shapes := [][2]int{{4, 4}, {5, 3}, {2, 8}, {8, 8}}
+	for si, spec := range specs {
+		for hi, shape := range shapes {
+			spec, shape := spec, shape
+			name := spec.Name() + "/" + string(rune('a'+hi))
+			t.Run(name, func(t *testing.T) {
+				m := newTestMachine(spec, shape[0], shape[1], uint64(si*10+hi))
+				const nvars = 6
+				vars := make([]core.VarID, nvars)
+				for i := range vars {
+					vars[i] = m.AllocAt(i%m.P(), 32, -1)
+				}
+				last := make([]interface{}, nvars)
+				for i := range last {
+					last[i] = -1
+				}
+				if err := m.Run(func(p *core.Proc) {
+					r := xrand.New(uint64(p.ID)*77 + 5)
+					for step := 0; step < 12; step++ {
+						vi := r.Intn(nvars)
+						if r.Intn(3) == 0 {
+							p.Write(vars[vi], p.ID*1000+step)
+						} else {
+							_ = p.Read(vars[vi])
+						}
+						// A uniform number of barriers per process keeps
+						// the barrier well-formed while still mixing
+						// transaction interleavings.
+						if step%4 == 3 {
+							p.Barrier()
+						}
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for i := range vars {
+					v := m.Var(vars[i])
+					checkInvariants(t, m, v, v.Data) // value checked reflexively
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package accesstree
+
+import (
+	"diva/internal/core"
+	"diva/internal/mesh"
+	"diva/internal/sim"
+)
+
+// Locks on global variables are implemented with the arrow protocol
+// (path-reversal) on the variable's own access tree: every tree node holds
+// an arrow pointing toward the current tail of the distributed request
+// queue; a lock request travels along arrows, flipping each one back toward
+// the requester, and queues behind the tail it finds; the token (the lock
+// itself) is then handed from holder to successor with a single direct
+// message. This is one of the "elegant algorithms that use access trees,
+// too" (§2 of the paper).
+//
+// Like the data pointers, arrows are materialized lazily: the default
+// configuration has every arrow pointing toward the creator's leaf, where
+// the token initially rests.
+
+type lockState struct {
+	arrows map[int]int32 // explicit deviations from the default arrows
+	// next forms the distributed FIFO queue: tree leaf -> successor leaf.
+	next map[int]int
+	// tokenAt is the leaf where the token rests (meaningless while the
+	// token is in flight).
+	tokenAt   int
+	tokenFree bool
+	inFlight  bool
+	waiting   map[int]*sim.Future // leaf -> future of the blocked process
+	holder    int                 // leaf currently holding the lock (-1: none)
+}
+
+// lockReqMsg is one hop of a lock request along the access tree.
+type lockReqMsg struct {
+	v      *Variable
+	node   int // receiving tree node
+	from   int // tree node the request came from (-1: origin hop)
+	origin int // requesting leaf
+}
+
+// lockTokenMsg hands the token to a successor leaf.
+type lockTokenMsg struct {
+	v  *Variable
+	to int // receiving leaf
+}
+
+// lockOf returns (lazily creating) the lock state of v.
+func (s *strategy) lockOf(v *Variable) *lockState {
+	vs := vstate(v)
+	if vs.lock == nil {
+		vs.lock = &lockState{
+			arrows:    make(map[int]int32),
+			next:      make(map[int]int),
+			tokenAt:   s.t.LeafOfProc[v.Creator],
+			tokenFree: true,
+			waiting:   make(map[int]*sim.Future),
+			holder:    -1,
+		}
+	}
+	return vs.lock
+}
+
+// arrow returns the arrow at a tree node (default: toward the creator).
+func (s *strategy) arrow(v *Variable, ls *lockState, id int) int32 {
+	if a, ok := ls.arrows[id]; ok {
+		return a
+	}
+	return s.defaultToward(vstate(v), id)
+}
+
+// Lock implements core.Strategy.
+func (s *strategy) Lock(p *core.Proc, v *Variable) {
+	ls := s.lockOf(v)
+	leaf := s.t.LeafOfProc[p.ID]
+	if ls.holder == leaf {
+		panic("accesstree: recursive lock")
+	}
+	a := s.arrow(v, ls, leaf)
+	if a == towardSelf {
+		// This leaf is the sink. Either the free token rests here, or the
+		// process would queue behind itself (a double acquire).
+		if ls.tokenFree && !ls.inFlight && ls.tokenAt == leaf {
+			ls.tokenFree = false
+			ls.holder = leaf
+			return
+		}
+		panic("accesstree: lock re-acquired while queued")
+	}
+	f := sim.NewFuture()
+	ls.waiting[leaf] = f
+	ls.arrows[leaf] = towardSelf
+	s.sendLockHop(v, ls, leaf, a, -1, leaf)
+	f.Await(p.Proc)
+	ls.holder = leaf
+}
+
+// sendLockHop forwards the request from tree node cur along direction a.
+func (s *strategy) sendLockHop(v *Variable, ls *lockState, cur int, a int32, from, origin int) {
+	vs := vstate(v)
+	var next int
+	if a == towardUp {
+		next = s.t.Nodes[cur].Parent
+	} else {
+		next = s.t.Nodes[cur].Children[a]
+	}
+	s.m.Net.Send(&mesh.Msg{
+		Src: s.procOf(vs, cur), Dst: s.procOf(vs, next),
+		Size: core.LockBytes, Kind: kindLockReq,
+		Payload: &lockReqMsg{v: v, node: next, from: cur, origin: origin},
+	})
+}
+
+// onLockReq performs one path-reversal step.
+func (s *strategy) onLockReq(m *mesh.Msg) {
+	lm := m.Payload.(*lockReqMsg)
+	ls := s.lockOf(lm.v)
+	cur := lm.node
+	old := s.arrow(lm.v, ls, cur)
+	ls.arrows[cur] = s.dirTo(cur, lm.from)
+	if old != towardSelf {
+		s.sendLockHop(lm.v, ls, cur, old, lm.from, lm.origin)
+		return
+	}
+	// cur is the previous sink: a leaf that holds the token or waits in
+	// the queue. The origin becomes its successor.
+	if _, dup := ls.next[cur]; dup {
+		panic("accesstree: queue tail already has a successor")
+	}
+	ls.next[cur] = lm.origin
+	if ls.tokenFree && !ls.inFlight && ls.tokenAt == cur {
+		s.passToken(lm.v, ls, cur)
+	}
+}
+
+// passToken moves the token from leaf cur to its queued successor.
+func (s *strategy) passToken(v *Variable, ls *lockState, cur int) {
+	to := ls.next[cur]
+	delete(ls.next, cur)
+	ls.tokenFree = false
+	ls.inFlight = true
+	vs := vstate(v)
+	s.m.Net.Send(&mesh.Msg{
+		Src: s.procOf(vs, cur), Dst: s.procOf(vs, to),
+		Size: core.LockBytes, Kind: kindLockToken,
+		Payload: &lockTokenMsg{v: v, to: to},
+	})
+}
+
+// onLockToken delivers the token: the waiting process now holds the lock.
+func (s *strategy) onLockToken(m *mesh.Msg) {
+	tm := m.Payload.(*lockTokenMsg)
+	ls := s.lockOf(tm.v)
+	ls.inFlight = false
+	ls.tokenAt = tm.to
+	f := ls.waiting[tm.to]
+	if f == nil {
+		panic("accesstree: token delivered to a leaf with no waiter")
+	}
+	delete(ls.waiting, tm.to)
+	f.Complete(s.m.K, nil)
+}
+
+// Unlock implements core.Strategy.
+func (s *strategy) Unlock(p *core.Proc, v *Variable) {
+	ls := s.lockOf(v)
+	leaf := s.t.LeafOfProc[p.ID]
+	if ls.holder != leaf {
+		panic("accesstree: unlock by non-holder")
+	}
+	ls.holder = -1
+	if _, ok := ls.next[leaf]; ok {
+		s.passToken(v, ls, leaf)
+		return
+	}
+	ls.tokenFree = true
+}

@@ -1,0 +1,392 @@
+package accesstree
+
+import (
+	"math/bits"
+
+	"diva/internal/core"
+	"diva/internal/mesh"
+	"diva/internal/sim"
+)
+
+// reqMsg travels along the access tree. path records the visited tree
+// nodes; path[0] is the requester's leaf and the last element the node the
+// message is arriving at. The same payload object is threaded through all
+// hops of one transaction (the simulation equivalent of the message body).
+type reqMsg struct {
+	v     *Variable
+	write bool
+	path  []int
+	val   interface{} // write: the new value
+	fut   *sim.Future
+}
+
+// dataMsg carries a copy back along the reversed request path. idx is the
+// index in req.path the message is arriving at.
+type dataMsg struct {
+	req *reqMsg
+	idx int
+}
+
+// invalMsg propagates the invalidation multicast.
+type invalMsg struct {
+	v    *Variable
+	node int // receiving tree node
+	from int // tree node the invalidation came from
+}
+
+// ackMsg acknowledges a completed invalidation subtree.
+type ackMsg struct {
+	v    *Variable
+	node int // receiving tree node (the one waiting for acks)
+}
+
+// evictMsg tells a component neighbor that a copy was replaced.
+type evictMsg struct {
+	v    *Variable
+	node int // receiving tree node
+	gone int // evicted tree node
+}
+
+// Read implements core.Strategy. The caller holds the shared transaction
+// slot, so pointer states can only be extended (by concurrent readers)
+// while this transaction runs.
+func (s *strategy) Read(p *core.Proc, v *Variable) interface{} {
+	vs := vstate(v)
+	leaf := s.t.LeafOfProc[p.ID]
+	if st := s.node(vs, v, leaf); st.member {
+		s.m.Cache(p.ID).Touch(atKey{v.ID, leaf})
+		return v.Data
+	}
+	req := &reqMsg{v: v, path: []int{leaf}, fut: sim.NewFuture()}
+	s.forward(req)
+	return req.fut.Await(p.Proc)
+}
+
+// Write implements core.Strategy. The caller holds the exclusive slot: no
+// other transaction on v is in flight.
+func (s *strategy) Write(p *core.Proc, v *Variable, val interface{}) {
+	vs := vstate(v)
+	s.maybeRemap(vs, v)
+	leaf := s.t.LeafOfProc[p.ID]
+	st := s.node(vs, v, leaf)
+	if st.member && st.edges == 0 {
+		// Sole copy: a purely local write.
+		v.Data = val
+		s.m.Cache(p.ID).Touch(atKey{v.ID, leaf})
+		return
+	}
+	fut := sim.NewFuture()
+	if st.member {
+		// The writer holds a copy (the common case: every write in the
+		// paper's applications is preceded by a read): it is itself the
+		// nearest member; invalidate everyone else directly.
+		req := &reqMsg{v: v, write: true, path: []int{leaf}, val: val, fut: fut}
+		s.serveWrite(req)
+	} else {
+		req := &reqMsg{v: v, write: true, path: []int{leaf}, val: val, fut: fut}
+		s.forward(req)
+	}
+	fut.Await(p.Proc)
+}
+
+// forward sends req one hop further along the pointer chain. Called at the
+// node that is the current end of req.path, which is not a member.
+func (s *strategy) forward(req *reqMsg) {
+	vs := vstate(req.v)
+	cur := req.path[len(req.path)-1]
+	st := s.node(vs, req.v, cur)
+	var next int
+	switch st.toward {
+	case towardUp:
+		next = s.t.Nodes[cur].Parent
+		if next == -1 {
+			panic("accesstree: pointer chain ran past the root")
+		}
+	case towardSelf:
+		panic("accesstree: forwarding at a member node")
+	default:
+		next = s.t.Nodes[cur].Children[st.toward]
+	}
+	req.path = append(req.path, next)
+	kind, size := kindReadReq, core.ReadReqBytes
+	if req.write {
+		kind, size = kindWriteReq, core.DataBytes(req.v.Size)
+	}
+	s.m.Net.Send(&mesh.Msg{
+		Src: s.procOf(vs, cur), Dst: s.procOf(vs, next),
+		Size: size, Kind: kind, Payload: req,
+	})
+}
+
+// onReq handles a request hop arriving at req.path's last node: serve if it
+// is a member, forward otherwise.
+func (s *strategy) onReq(m *mesh.Msg) {
+	req := m.Payload.(*reqMsg)
+	vs := vstate(req.v)
+	cur := req.path[len(req.path)-1]
+	s.countAccess(vs, cur)
+	st := s.node(vs, req.v, cur)
+	if !st.member {
+		s.forward(req)
+		return
+	}
+	if req.write {
+		s.serveWrite(req)
+		return
+	}
+	// Member u serves the read: the copy travels back along the path.
+	s.sendData(req, len(req.path)-1)
+}
+
+// serveWrite runs at the nearest member u (the last node of req.path): it
+// starts the invalidation multicast; once all acknowledgments are in, the
+// value is committed and the modified copy travels back to the writer.
+func (s *strategy) serveWrite(req *reqMsg) {
+	vs := vstate(req.v)
+	u := req.path[len(req.path)-1]
+	st := s.nodePtr(vs, u)
+	edges := st.edges
+	st.edges = 0
+	done := func() {
+		req.v.Data = req.val
+		if len(req.path) == 1 {
+			// u is the writer's leaf itself.
+			st := s.nodePtr(vs, u)
+			st.member = true
+			st.toward = towardSelf
+			s.cacheInsert(vs, req.v, u, s.procOf(vs, u))
+			req.fut.Complete(s.m.K, req.val)
+			return
+		}
+		s.sendData(req, len(req.path)-1)
+	}
+	if edges == 0 {
+		done()
+		return
+	}
+	vs.pending[u] = &invalWait{n: bits.OnesCount32(edges), ackNode: -1, done: done}
+	s.multicastInval(vs, req.v, u, edges)
+}
+
+// multicastInval sends invalidations from node u along the member edges.
+func (s *strategy) multicastInval(vs *varState, v *Variable, u int, edges uint32) {
+	src := s.procOf(vs, u)
+	n := &s.t.Nodes[u]
+	if edges&parentBit != 0 {
+		s.sendInval(vs, v, src, n.Parent, u)
+	}
+	for i := range n.Children {
+		if edges&childBit(i) != 0 {
+			s.sendInval(vs, v, src, n.Children[i], u)
+		}
+	}
+}
+
+func (s *strategy) sendInval(vs *varState, v *Variable, srcProc, to, from int) {
+	s.m.Net.Send(&mesh.Msg{
+		Src: srcProc, Dst: s.procOf(vs, to),
+		Size: core.InvalBytes, Kind: kindInval,
+		Payload: &invalMsg{v: v, node: to, from: from},
+	})
+}
+
+// onInval invalidates the copy at the receiving node and forwards the
+// multicast into the rest of the component.
+func (s *strategy) onInval(m *mesh.Msg) {
+	im := m.Payload.(*invalMsg)
+	vs := vstate(im.v)
+	st := s.nodePtr(vs, im.node)
+	if !st.member {
+		panic("accesstree: invalidation reached a non-member")
+	}
+	forward := st.edges &^ s.edgeBit(im.node, im.from)
+	st.member = false
+	st.toward = s.dirTo(im.node, im.from)
+	st.edges = 0
+	s.m.Cache(s.procOf(vs, im.node)).Remove(atKey{im.v.ID, im.node})
+	if forward == 0 {
+		s.sendAck(vs, im.v, im.node, im.from)
+		return
+	}
+	vs.pending[im.node] = &invalWait{n: bits.OnesCount32(forward), ackNode: im.from}
+	s.multicastInval(vs, im.v, im.node, forward)
+}
+
+func (s *strategy) sendAck(vs *varState, v *Variable, from, to int) {
+	s.m.Net.Send(&mesh.Msg{
+		Src: s.procOf(vs, from), Dst: s.procOf(vs, to),
+		Size: core.AckBytes, Kind: kindAck,
+		Payload: &ackMsg{v: v, node: to},
+	})
+}
+
+// onAck aggregates acknowledgments back toward the multicast root.
+func (s *strategy) onAck(m *mesh.Msg) {
+	am := m.Payload.(*ackMsg)
+	vs := vstate(am.v)
+	w := vs.pending[am.node]
+	if w == nil {
+		panic("accesstree: stray invalidation ack")
+	}
+	w.n--
+	if w.n > 0 {
+		return
+	}
+	delete(vs.pending, am.node)
+	if w.ackNode >= 0 {
+		s.sendAck(vs, am.v, am.node, w.ackNode)
+		return
+	}
+	w.done()
+}
+
+// sendData sends the copy one hop back along the request path, from
+// path[idx] to path[idx-1].
+func (s *strategy) sendData(req *reqMsg, idx int) {
+	vs := vstate(req.v)
+	from, to := req.path[idx], req.path[idx-1]
+	// The sender records that its neighbor is about to become a member.
+	st := s.nodePtr(vs, from)
+	st.edges |= s.edgeBit(from, to)
+	kind := kindReadData
+	if req.write {
+		kind = kindWriteData
+	}
+	s.m.Net.Send(&mesh.Msg{
+		Src: s.procOf(vs, from), Dst: s.procOf(vs, to),
+		Size: core.DataBytes(req.v.Size), Kind: kind,
+		Payload: &dataMsg{req: req, idx: idx - 1},
+	})
+}
+
+// onData installs a copy at the receiving path node and forwards the copy
+// toward the requester; at the requester's leaf the transaction completes.
+func (s *strategy) onData(m *mesh.Msg) {
+	dm := m.Payload.(*dataMsg)
+	req := dm.req
+	vs := vstate(req.v)
+	cur := req.path[dm.idx]
+	s.countAccess(vs, cur)
+	st := s.nodePtr(vs, cur)
+	st.member = true
+	st.toward = towardSelf
+	st.edges |= s.edgeBit(cur, req.path[dm.idx+1])
+	s.cacheInsert(vs, req.v, cur, m.Dst)
+	if dm.idx == 0 {
+		if req.write {
+			req.fut.Complete(s.m.K, req.val)
+		} else {
+			req.fut.Complete(s.m.K, req.v.Data)
+		}
+		return
+	}
+	s.sendData(req, dm.idx)
+}
+
+// countAccess bumps the remapping counter of a node (only when remapping
+// is enabled, to keep the default path allocation-free).
+func (s *strategy) countAccess(vs *varState, node int) {
+	if s.opts.RemapThreshold <= 0 {
+		return
+	}
+	s.nodePtr(vs, node).accesses++
+}
+
+// edgeBit returns node's edge bit toward its tree neighbor nb.
+func (s *strategy) edgeBit(node, nb int) uint32 {
+	if s.t.Nodes[node].Parent == nb {
+		return parentBit
+	}
+	if s.t.Nodes[nb].Parent != node {
+		panic("accesstree: edgeBit between non-adjacent nodes")
+	}
+	return childBit(s.t.Nodes[nb].ChildIndex)
+}
+
+// dirTo returns the pointer value at node that leads to its neighbor nb.
+func (s *strategy) dirTo(node, nb int) int32 {
+	if s.t.Nodes[node].Parent == nb {
+		return towardUp
+	}
+	if s.t.Nodes[nb].Parent != node {
+		panic("accesstree: dirTo between non-adjacent nodes")
+	}
+	return int32(s.t.Nodes[nb].ChildIndex)
+}
+
+// atKey identifies a copy in a node cache.
+type atKey struct {
+	v    core.VarID
+	node int
+}
+
+// cacheInsert registers the copy held for tree node `node` in the memory
+// module of processor `proc`, wiring up the replacement callback. With
+// unbounded caches (the paper's default) this is free: no closure is even
+// constructed.
+func (s *strategy) cacheInsert(vs *varState, v *Variable, node, proc int) {
+	c := s.m.Cache(proc)
+	if !c.Bounded() {
+		return
+	}
+	key := atKey{v.ID, node}
+	c.Insert(key, v.Size, func() bool {
+		return s.tryEvict(v, node, proc)
+	})
+}
+
+// tryEvict implements LRU replacement for the access tree strategy: a copy
+// may only be dropped if the variable is idle and the copy is a leaf of the
+// copy component (so the component stays connected and no data is lost).
+// The one remaining component neighbor is notified with a small message.
+func (s *strategy) tryEvict(v *Variable, node, proc int) bool {
+	if v.State == nil || !v.Idle() {
+		return false
+	}
+	vs := vstate(v)
+	st, ok := vs.nodes[node]
+	if !ok || !st.member {
+		return false
+	}
+	if bits.OnesCount32(st.edges) != 1 {
+		return false // sole copy or interior component node
+	}
+	nb := s.edgeNeighbor(node, st.edges)
+	st.member = false
+	st.toward = s.dirTo(node, nb)
+	st.edges = 0
+	// Clear the neighbor's edge bit immediately: if the notification were
+	// only applied on delivery, two adjacent copies could each observe the
+	// other as "remaining" and both evict, losing the last copy (a real
+	// implementation prevents this with an eviction handshake; we model
+	// the handshake's effect and charge its message below).
+	s.nodePtr(vs, nb).edges &^= s.edgeBit(nb, node)
+	s.m.Cache(proc).Remove(atKey{v.ID, node})
+	s.m.Net.Send(&mesh.Msg{
+		Src: proc, Dst: s.procOf(vs, nb),
+		Size: core.AckBytes, Kind: kindEvict,
+		Payload: &evictMsg{v: v, node: nb, gone: node},
+	})
+	return true
+}
+
+// edgeNeighbor maps a single-bit edge mask to the neighbor node id.
+func (s *strategy) edgeNeighbor(node int, edges uint32) int {
+	if edges == parentBit {
+		return s.t.Nodes[node].Parent
+	}
+	i := bits.TrailingZeros32(edges) - 1
+	return s.t.Nodes[node].Children[i]
+}
+
+// onEvict clears the component edge toward a replaced copy.
+func (s *strategy) onEvict(m *mesh.Msg) {
+	em := m.Payload.(*evictMsg)
+	if em.v.State == nil {
+		return // variable freed while the notification was in flight
+	}
+	vs := vstate(em.v)
+	if st, ok := vs.nodes[em.node]; ok {
+		st.edges &^= s.edgeBit(em.node, em.gone)
+	}
+}

@@ -1,0 +1,157 @@
+package accesstree
+
+import (
+	"testing"
+
+	"diva/internal/core"
+	"diva/internal/decomp"
+)
+
+func remapMachine(threshold int) *core.Machine {
+	return core.NewMachine(core.Config{
+		Rows: 4, Cols: 4, Seed: 77, Tree: decomp.Ary2,
+		Strategy: FactoryOpts(Options{RandomEmbedding: true, RemapThreshold: threshold}),
+	})
+}
+
+func TestRemapRequiresRandomEmbedding(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemapThreshold without RandomEmbedding accepted")
+		}
+	}()
+	FactoryOpts(Options{RemapThreshold: 5})
+}
+
+// TestRemapTriggersAndStaysCorrect: heavy traffic on one variable must
+// trigger migrations, and the protocol must stay correct afterwards.
+func TestRemapTriggersAndStaysCorrect(t *testing.T) {
+	m := remapMachine(8)
+	v := m.AllocAt(0, 64, 0)
+	const rounds = 12
+	if err := m.Run(func(p *core.Proc) {
+		for r := 0; r < rounds; r++ {
+			if got := p.Read(v); got == nil {
+				t.Error("nil read")
+			}
+			p.Barrier()
+			if p.ID == (r*5)%m.P() {
+				p.Write(v, r+1)
+			}
+			p.Barrier()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Remaps(m.Var(v)); got == 0 {
+		t.Fatal("no remapping happened despite heavy traffic")
+	}
+	checkInvariants(t, m, m.Var(v), rounds)
+}
+
+// TestRemapOffByDefault: the paper's configuration performs no migrations.
+func TestRemapOffByDefault(t *testing.T) {
+	m := core.NewMachine(core.Config{
+		Rows: 4, Cols: 4, Seed: 77, Tree: decomp.Ary2,
+		Strategy: Factory(),
+	})
+	v := m.AllocAt(0, 64, 0)
+	if err := m.Run(func(p *core.Proc) {
+		for r := 0; r < 6; r++ {
+			p.Read(v)
+			p.Barrier()
+			if p.ID == r {
+				p.Write(v, r)
+			}
+			p.Barrier()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Remaps(m.Var(v)); got != 0 {
+		t.Fatalf("%d remaps with remapping disabled", got)
+	}
+}
+
+// TestRemapMovesHotNode: after remapping, positions actually change (the
+// override table is consulted).
+func TestRemapMovesHotNode(t *testing.T) {
+	m := remapMachine(4)
+	v := m.AllocAt(0, 64, 0)
+	if err := m.Run(func(p *core.Proc) {
+		for r := 0; r < 10; r++ {
+			p.Read(v)
+			p.Barrier()
+			if p.ID == 15 {
+				p.Write(v, r)
+			}
+			p.Barrier()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs := vstate(m.Var(v))
+	if len(vs.posOverride) == 0 {
+		t.Fatal("no position overrides recorded")
+	}
+	s := m.Strat.(*strategy)
+	for id, pos := range vs.posOverride {
+		if !s.t.Nodes[id].Rect.Contains(pos) {
+			t.Fatalf("remapped node %d at %v outside its submesh %+v",
+				id, pos, s.t.Nodes[id].Rect)
+		}
+	}
+}
+
+// TestRemapChargesMessages: migrations are not free.
+func TestRemapChargesMessages(t *testing.T) {
+	run := func(threshold int) uint64 {
+		m := remapMachine(threshold)
+		v := m.AllocAt(0, 64, 0)
+		if err := m.Run(func(p *core.Proc) {
+			for r := 0; r < 10; r++ {
+				p.Read(v)
+				p.Barrier()
+				if p.ID == 0 {
+					p.Write(v, r)
+				}
+				p.Barrier()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		msgs, _ := m.Net.SendStats()
+		return msgs[kindRemapMove] + msgs[kindRemapNote]
+	}
+	if with := run(4); with == 0 {
+		t.Fatal("remapping sent no messages")
+	}
+	if without := run(0); without != 0 {
+		t.Fatal("messages sent with remapping disabled")
+	}
+}
+
+// TestRemapLeavesLeavesPinned: processor leaves can never move.
+func TestRemapLeavesPinned(t *testing.T) {
+	m := remapMachine(2)
+	v := m.AllocAt(0, 64, 0)
+	if err := m.Run(func(p *core.Proc) {
+		for r := 0; r < 8; r++ {
+			p.Read(v)
+			p.Barrier()
+			if p.ID == 3 {
+				p.Write(v, r)
+			}
+			p.Barrier()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs := vstate(m.Var(v))
+	s := m.Strat.(*strategy)
+	for id := range vs.posOverride {
+		if s.t.Nodes[id].Leaf() {
+			t.Fatalf("leaf node %d was remapped", id)
+		}
+	}
+}

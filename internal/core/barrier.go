@@ -1,0 +1,151 @@
+package core
+
+import (
+	"diva/internal/mesh"
+	"diva/internal/sim"
+)
+
+// barrier implements the library's barrier synchronization (§2,
+// "synchronization mechanisms"): arrivals are combined up the decomposition
+// tree and the release is multicast down it, so no node ever handles more
+// than its tree degree of messages. The same mechanism doubles as a global
+// all-reduce (used, e.g., for the Barnes-Hut bounding-box phase).
+//
+// The barrier tree is the machine's decomposition tree under the modular
+// embedding with one randomly placed root, chosen at machine construction.
+type barrier struct {
+	m   *Machine
+	pos []mesh.Coord // embedding of every tree node
+
+	epoch   []uint64      // per processor: next epoch to enter
+	waiting []*sim.Future // per processor: outstanding completion
+
+	state map[barKey]*barState
+}
+
+type barKey struct {
+	node  int
+	epoch uint64
+}
+
+type barState struct {
+	arrived int
+	val     interface{}
+	combine func(a, b interface{}) interface{}
+	size    int
+}
+
+type barMsg struct {
+	node    int // receiving tree node
+	epoch   uint64
+	val     interface{}
+	size    int
+	combine func(a, b interface{}) interface{}
+}
+
+func newBarrier(m *Machine) *barrier {
+	b := &barrier{
+		m:       m,
+		epoch:   make([]uint64, m.P()),
+		waiting: make([]*sim.Future, m.P()),
+		state:   make(map[barKey]*barState),
+	}
+	b.pos = m.Tree.EmbedAll(m.Tree.RandomRoot(m.RNG))
+	m.Net.Handle(KindBarrierArrive, b.onArrive)
+	m.Net.Handle(KindBarrierRelease, b.onRelease)
+	return b
+}
+
+// proc returns the processor simulating tree node n.
+func (b *barrier) proc(n int) int { return b.m.Mesh.ID(b.pos[n]) }
+
+// wait enters the barrier from process p, optionally contributing a
+// reduction value.
+func (b *barrier) wait(p *Proc, val interface{}, combine func(a, b interface{}) interface{}, size int) interface{} {
+	t := b.m.Tree
+	leaf := t.LeafOfProc[p.ID]
+	epoch := b.epoch[p.ID]
+	b.epoch[p.ID]++
+	if b.m.P() == 1 {
+		return val
+	}
+	f := sim.NewFuture()
+	if b.waiting[p.ID] != nil {
+		panic("core: process entered barrier twice")
+	}
+	b.waiting[p.ID] = f
+	parent := t.Nodes[leaf].Parent
+	b.m.Net.Send(&mesh.Msg{
+		Src: p.ID, Dst: b.proc(parent),
+		Size: BarrierBytes + size,
+		Kind: KindBarrierArrive,
+		Payload: &barMsg{node: parent, epoch: epoch, val: val, size: size,
+			combine: combine},
+	})
+	return f.Await(p.Proc)
+}
+
+func (b *barrier) onArrive(m *mesh.Msg) {
+	bm := m.Payload.(*barMsg)
+	t := b.m.Tree
+	key := barKey{node: bm.node, epoch: bm.epoch}
+	st := b.state[key]
+	if st == nil {
+		st = &barState{val: bm.val, combine: bm.combine, size: bm.size}
+		b.state[key] = st
+	} else if st.combine != nil {
+		st.val = st.combine(st.val, bm.val)
+	}
+	st.arrived++
+	node := &t.Nodes[bm.node]
+	if st.arrived < len(node.Children) {
+		return
+	}
+	delete(b.state, key)
+	if node.Parent == -1 {
+		// Root complete: release downward.
+		b.release(bm.node, bm.epoch, st.val, st.size)
+		return
+	}
+	b.m.Net.Send(&mesh.Msg{
+		Src: b.proc(bm.node), Dst: b.proc(node.Parent),
+		Size: BarrierBytes + st.size,
+		Kind: KindBarrierArrive,
+		Payload: &barMsg{node: node.Parent, epoch: bm.epoch, val: st.val,
+			size: st.size, combine: st.combine},
+	})
+}
+
+// release forwards the release from tree node n to all its children.
+func (b *barrier) release(n int, epoch uint64, val interface{}, size int) {
+	t := b.m.Tree
+	src := b.proc(n)
+	for _, c := range t.Nodes[n].Children {
+		child := c
+		dst := b.proc(child)
+		if t.Nodes[child].Leaf() {
+			dst = b.m.Mesh.ID(mesh.Coord{
+				Row: t.Nodes[child].Rect.R0, Col: t.Nodes[child].Rect.C0})
+		}
+		b.m.Net.Send(&mesh.Msg{
+			Src: src, Dst: dst,
+			Size:    BarrierBytes + size,
+			Kind:    KindBarrierRelease,
+			Payload: &barMsg{node: child, epoch: epoch, val: val, size: size},
+		})
+	}
+}
+
+func (b *barrier) onRelease(m *mesh.Msg) {
+	bm := m.Payload.(*barMsg)
+	t := b.m.Tree
+	node := &t.Nodes[bm.node]
+	if node.Leaf() {
+		proc := b.m.Mesh.ID(mesh.Coord{Row: node.Rect.R0, Col: node.Rect.C0})
+		f := b.waiting[proc]
+		b.waiting[proc] = nil
+		f.Complete(b.m.K, bm.val)
+		return
+	}
+	b.release(bm.node, bm.epoch, bm.val, bm.size)
+}

@@ -1,0 +1,120 @@
+package core
+
+import "container/list"
+
+// Cache tracks the copies stored in one node's local memory module and
+// implements the least-recently-used replacement the paper describes ("if
+// the local memory module is full then data objects will be replaced in
+// least recently used fashion").
+//
+// Entries are inserted by the data management strategy; the eviction
+// callback gives the strategy the chance to refuse (for the access tree
+// strategy, only copies whose removal keeps the copy component connected
+// may go) and to send the required notification message.
+//
+// With capacity 0 (unbounded, the paper's default configuration) the cache
+// is a no-op: nothing is tracked, nothing is ever replaced.
+type Cache struct {
+	capacity  int
+	bytes     int
+	lru       *list.List // front = most recent; values are *cacheEntry
+	index     map[interface{}]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key   interface{}
+	size  int
+	evict func() bool // try to drop the copy; false = not evictable now
+}
+
+// Bounded reports whether the cache enforces a capacity.
+func (c *Cache) Bounded() bool { return c.capacity > 0 }
+
+// Bytes returns the tracked copy bytes (0 for unbounded caches).
+func (c *Cache) Bytes() int { return c.bytes }
+
+// Len returns the number of tracked entries.
+func (c *Cache) Len() int {
+	if c.lru == nil {
+		return 0
+	}
+	return c.lru.Len()
+}
+
+// Evictions counts successful replacements.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+func (c *Cache) init() {
+	if c.lru == nil {
+		c.lru = list.New()
+		c.index = make(map[interface{}]*list.Element)
+	}
+}
+
+// Insert records a new copy of the given size. evict is invoked when the
+// entry is selected for replacement; it must drop the copy and return true,
+// or return false if the copy cannot be dropped right now. Inserting an
+// existing key just refreshes it.
+func (c *Cache) Insert(key interface{}, size int, evict func() bool) {
+	if !c.Bounded() {
+		return
+	}
+	c.init()
+	if e, ok := c.index[key]; ok {
+		c.lru.MoveToFront(e)
+		return
+	}
+	e := c.lru.PushFront(&cacheEntry{key: key, size: size, evict: evict})
+	c.index[key] = e
+	c.bytes += size
+	c.enforce()
+}
+
+// Touch marks the copy as recently used.
+func (c *Cache) Touch(key interface{}) {
+	if !c.Bounded() || c.index == nil {
+		return
+	}
+	if e, ok := c.index[key]; ok {
+		c.lru.MoveToFront(e)
+	}
+}
+
+// Remove forgets a copy (invalidation or Free). Unknown keys are ignored.
+func (c *Cache) Remove(key interface{}) {
+	if !c.Bounded() || c.index == nil {
+		return
+	}
+	if e, ok := c.index[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.lru.Remove(e)
+		delete(c.index, key)
+		c.bytes -= ent.size
+	}
+}
+
+// enforce drops least-recently-used evictable entries until the cache fits.
+func (c *Cache) enforce() {
+	if c.bytes <= c.capacity {
+		return
+	}
+	// Walk from the back (least recently used). Entries that refuse
+	// eviction are skipped this round; they will be retried on the next
+	// insertion.
+	for e := c.lru.Back(); e != nil && c.bytes > c.capacity; {
+		prev := e.Prev()
+		ent := e.Value.(*cacheEntry)
+		if ent.evict() {
+			// evict is expected to remove the entry (via Remove); guard
+			// against implementations that do not.
+			if _, still := c.index[ent.key]; still {
+				c.lru.Remove(e)
+				delete(c.index, ent.key)
+				c.bytes -= ent.size
+			}
+			c.evictions++
+		}
+		e = prev
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"diva/internal/sim"
+)
+
+// White-box tests of the LRU replacement machinery.
+
+func TestCacheUnboundedIsNoop(t *testing.T) {
+	var c Cache // capacity 0
+	c.Insert("a", 100, func() bool { t.Fatal("evict called"); return false })
+	c.Touch("a")
+	c.Remove("a")
+	if c.Bounded() || c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("unbounded cache tracked state")
+	}
+}
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c := Cache{capacity: 250}
+	var evicted []string
+	mk := func(name string) func() bool {
+		return func() bool {
+			evicted = append(evicted, name)
+			c.Remove(name)
+			return true
+		}
+	}
+	c.Insert("a", 100, mk("a"))
+	c.Insert("b", 100, mk("b"))
+	c.Touch("a") // b is now least recently used
+	c.Insert("c", 100, mk("c"))
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if c.Bytes() != 200 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d after eviction", c.Bytes(), c.Len())
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions=%d", c.Evictions())
+	}
+}
+
+func TestCacheRefusedEvictionSkipped(t *testing.T) {
+	c := Cache{capacity: 150}
+	pinned := func() bool { return false }
+	var evicted []string
+	c.Insert("pinned", 100, pinned)
+	c.Insert("free", 100, func() bool {
+		evicted = append(evicted, "free")
+		c.Remove("free")
+		return true
+	})
+	// "pinned" is LRU but refuses; "free" must go instead.
+	c.Insert("new", 100, pinned)
+	if len(evicted) != 1 || evicted[0] != "free" {
+		t.Fatalf("evicted %v, want [free]", evicted)
+	}
+	// The cache can stay over capacity when nothing is evictable.
+	if c.Bytes() != 200 {
+		t.Fatalf("bytes=%d", c.Bytes())
+	}
+}
+
+func TestCacheDuplicateInsertRefreshes(t *testing.T) {
+	c := Cache{capacity: 300}
+	c.Insert("a", 100, func() bool { c.Remove("a"); return true })
+	c.Insert("a", 100, func() bool { c.Remove("a"); return true })
+	if c.Bytes() != 100 || c.Len() != 1 {
+		t.Fatalf("duplicate insert double-counted: bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+}
+
+func TestCacheRemoveUnknownIgnored(t *testing.T) {
+	c := Cache{capacity: 100}
+	c.Remove("ghost") // must not panic
+	c.Touch("ghost")
+	if c.Len() != 0 {
+		t.Fatal("phantom entry appeared")
+	}
+}
+
+func TestCacheEvictorForgotRemoveGuard(t *testing.T) {
+	c := Cache{capacity: 100}
+	c.Insert("a", 80, func() bool { return true }) // does NOT call Remove
+	c.Insert("b", 80, func() bool { return false })
+	// enforce must have cleaned "a" up itself.
+	if c.Bytes() != 80 || c.Len() != 1 {
+		t.Fatalf("guard failed: bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+}
+
+func TestRWQueueWriterBlocksLaterReaders(t *testing.T) {
+	// FIFO admission: two active readers, then a queued writer, then a
+	// queued reader — the reader arriving after the writer must not be
+	// admitted before it (no writer starvation).
+	v := &Variable{}
+	k := sim.New()
+	v.rw.readers = 2 // two reads in flight
+	wDone, rDone := false, false
+	k.Spawn("w", func(sp *sim.Proc) {
+		p := &Proc{Proc: sp}
+		v.acquireWrite(p)
+		wDone = true
+		v.releaseWrite(k)
+	})
+	k.Spawn("r", func(sp *sim.Proc) {
+		p := &Proc{Proc: sp}
+		sp.Wait(1) // enqueue strictly after the writer
+		v.acquireRead(p)
+		rDone = true
+		if !wDone {
+			t.Error("reader admitted before the queued writer")
+		}
+		v.releaseRead(k)
+	})
+	k.At(10, func() { v.releaseRead(k) })
+	k.At(20, func() { v.releaseRead(k) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !wDone || !rDone {
+		t.Fatal("queue did not drain")
+	}
+}

@@ -1,0 +1,196 @@
+package core_test
+
+import (
+	"testing"
+
+	"diva/internal/core"
+	"diva/internal/core/accesstree"
+	"diva/internal/core/fixedhome"
+	"diva/internal/decomp"
+	"diva/internal/xrand"
+)
+
+// This file checks the memory-consistency guarantees the DIVA library
+// gives to its applications: per-variable transaction atomicity (reads
+// never observe a half-finished write) and barrier-ordered visibility
+// (after a barrier, every processor sees all writes issued before it).
+
+// TestBarrierOrderedVisibility: the fundamental pattern all three paper
+// applications rely on — write, barrier, read.
+func TestBarrierOrderedVisibility(t *testing.T) {
+	for name, f := range testStrategies() {
+		t.Run(name, func(t *testing.T) {
+			m := newTestMachine(t, 4, 4, f, decomp.Ary4)
+			const vars = 8
+			ids := make([]core.VarID, vars)
+			for i := range ids {
+				ids[i] = m.AllocAt(i, 16, 0)
+			}
+			if err := m.Run(func(p *core.Proc) {
+				for round := 1; round <= 5; round++ {
+					// Each round, processor (round*3+i) mod P writes
+					// variable i; everyone reads all after the barrier.
+					for i := range ids {
+						if (round*3+i)%m.P() == p.ID {
+							p.Write(ids[i], round)
+						}
+					}
+					p.Barrier()
+					for i := range ids {
+						if got := p.Read(ids[i]); got != round {
+							t.Errorf("round %d: proc %d read %v from var %d",
+								round, p.ID, got, i)
+							return
+						}
+					}
+					p.Barrier()
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSnapshotAtomicity: concurrent readers either see the old or the new
+// value — never a torn intermediate — because write transactions are
+// exclusive per variable.
+func TestSnapshotAtomicity(t *testing.T) {
+	for name, f := range testStrategies() {
+		t.Run(name, func(t *testing.T) {
+			m := newTestMachine(t, 4, 4, f, decomp.Ary2)
+			type pair struct{ A, B int }
+			v := m.AllocAt(0, 32, pair{0, 0})
+			if err := m.Run(func(p *core.Proc) {
+				r := xrand.New(uint64(p.ID) + 1)
+				for i := 0; i < 10; i++ {
+					if p.ID == 0 {
+						// Writer keeps the invariant A == B.
+						p.Write(v, pair{i + 1, i + 1})
+					} else {
+						got := p.Read(v).(pair)
+						if got.A != got.B {
+							t.Errorf("torn read: %+v", got)
+							return
+						}
+					}
+					p.Wait(float64(r.Intn(300)))
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMonotonicReads: per processor, observed round numbers of a variable
+// written with increasing values never go backwards (transactions are
+// serialized per variable).
+func TestMonotonicReads(t *testing.T) {
+	for name, f := range testStrategies() {
+		t.Run(name, func(t *testing.T) {
+			m := newTestMachine(t, 4, 4, f, decomp.Ary4)
+			v := m.AllocAt(0, 16, 0)
+			bad := false
+			if err := m.Run(func(p *core.Proc) {
+				last := -1
+				for i := 0; i < 12; i++ {
+					if p.ID == 5 {
+						x := p.Read(v).(int)
+						p.Write(v, x+1)
+						continue
+					}
+					got := p.Read(v).(int)
+					if got < last {
+						bad = true
+					}
+					last = got
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if bad {
+				t.Fatal("reads went backwards")
+			}
+		})
+	}
+}
+
+// TestLockedReadModifyWriteManyVars: the Barnes-Hut tree-build pattern at
+// high contention — many processors increment many variables under locks.
+func TestLockedReadModifyWriteManyVars(t *testing.T) {
+	for name, f := range testStrategies() {
+		t.Run(name, func(t *testing.T) {
+			m := newTestMachine(t, 4, 4, f, decomp.Ary2K4)
+			const vars = 5
+			ids := make([]core.VarID, vars)
+			for i := range ids {
+				ids[i] = m.AllocAt(i*3, 16, 0)
+			}
+			const rounds = 4
+			if err := m.Run(func(p *core.Proc) {
+				r := xrand.New(uint64(p.ID)*31 + 7)
+				for i := 0; i < rounds; i++ {
+					vi := (p.ID + i) % vars
+					p.Lock(ids[vi])
+					x := p.Read(ids[vi]).(int)
+					p.Wait(float64(r.Intn(50)))
+					p.Write(ids[vi], x+1)
+					p.Unlock(ids[vi])
+				}
+				p.Barrier()
+				total := 0
+				for _, id := range ids {
+					total += p.Read(id).(int)
+				}
+				if total != rounds*m.P() {
+					t.Errorf("proc %d sees total %d, want %d", p.ID, total, rounds*m.P())
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMixedStrategiesSameResults: both strategies compute identical
+// application-visible state for a deterministic program.
+func TestMixedStrategiesSameResults(t *testing.T) {
+	run := func(f core.Factory) []interface{} {
+		m := core.NewMachine(core.Config{
+			Rows: 4, Cols: 4, Seed: 12, Tree: decomp.Ary4, Strategy: f,
+		})
+		ids := make([]core.VarID, 6)
+		for i := range ids {
+			ids[i] = m.AllocAt(i, 16, i)
+		}
+		if err := m.Run(func(p *core.Proc) {
+			for r := 0; r < 4; r++ {
+				vi := (p.ID + r) % len(ids)
+				if p.ID%4 == 0 {
+					p.Lock(ids[vi])
+					x := p.Read(ids[vi]).(int)
+					p.Write(ids[vi], x*2+1)
+					p.Unlock(ids[vi])
+				} else {
+					p.Read(ids[vi])
+				}
+				p.Barrier()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]interface{}, len(ids))
+		for i, id := range ids {
+			out[i] = m.Var(id).Data
+		}
+		return out
+	}
+	at := run(accesstree.Factory())
+	fh := run(fixedhome.Factory())
+	for i := range at {
+		if at[i] != fh[i] {
+			t.Fatalf("var %d differs: accesstree=%v fixedhome=%v", i, at[i], fh[i])
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package fixedhome implements the paper's baseline data management
+// strategy: every global variable is assigned a uniformly random home
+// processor that keeps track of the variable's copies, and consistency is
+// maintained with the classic ownership scheme (§2, "The fixed home
+// strategy"). This realizes a CC-NUMA-like concept on the mesh.
+//
+// At any time either one of the processors or the home (playing the role of
+// the central main memory module) owns a variable:
+//
+//   - A read by a processor without a valid copy asks the home; if a
+//     processor owns the variable, the home first fetches the current copy
+//     (ownership moves back to the home), then sends a copy to the reader.
+//   - A write by the owner is served locally. Any other write invalidates
+//     all existing copies via the home (with acknowledgments) and makes the
+//     writer the owner, holding the only copy.
+//
+// Since the original scheme's snoopy bus invalidation does not exist in a
+// network, the home sends an explicit invalidation message to every copy
+// holder.
+//
+// Locks are managed by a FIFO queue at the variable's home.
+package fixedhome
+
+import (
+	"fmt"
+	"sort"
+
+	"diva/internal/core"
+	"diva/internal/mesh"
+	"diva/internal/sim"
+	"diva/internal/xrand"
+)
+
+// Factory returns a core.Factory for the fixed home strategy.
+func Factory() core.Factory {
+	return func(m *core.Machine) core.Strategy { return newStrategy(m) }
+}
+
+// Message kinds.
+const (
+	kindReadReq = core.KindStrategyBase + iota
+	kindFetch
+	kindFetchData
+	kindData
+	kindWriteReq
+	kindInval
+	kindAck
+	kindGrant
+	kindLockReq
+	kindLockGrant
+	kindLockRel
+	kindEvictNote
+)
+
+type strategy struct {
+	m   *core.Machine
+	rng *xrand.RNG
+}
+
+func newStrategy(m *core.Machine) *strategy {
+	s := &strategy{m: m, rng: m.RNG.Split()}
+	net := m.Net
+	net.Handle(kindReadReq, s.onReadReq)
+	net.Handle(kindFetch, s.onFetch)
+	net.Handle(kindFetchData, s.onFetchData)
+	net.Handle(kindData, s.onData)
+	net.Handle(kindWriteReq, s.onWriteReq)
+	net.Handle(kindInval, s.onInval)
+	net.Handle(kindAck, s.onAck)
+	net.Handle(kindGrant, s.onGrant)
+	net.Handle(kindLockReq, s.onLockReq)
+	net.Handle(kindLockGrant, s.onLockGrant)
+	net.Handle(kindLockRel, s.onLockRel)
+	net.Handle(kindEvictNote, func(*mesh.Msg) {}) // directory already updated
+	return s
+}
+
+func (s *strategy) Name() string { return "fixed home" }
+
+// varState is the per-variable record: the directory lives at the home
+// processor; holders doubles as each processor's local validity flag (they
+// are kept consistent because transactions on one variable are serialized).
+type varState struct {
+	home    int
+	owner   int // processor id; == home when "main memory" owns it
+	holders map[int]struct{}
+	pending *writeWait
+	lock    *lockState
+}
+
+type writeWait struct {
+	n   int
+	req *req
+}
+
+// req is a read or write transaction in flight.
+type req struct {
+	v     *core.Variable
+	from  int // requesting processor
+	write bool
+	val   interface{}
+	fut   *sim.Future
+}
+
+func vstate(v *core.Variable) *varState { return v.State.(*varState) }
+
+func (s *strategy) InitVar(v *core.Variable) {
+	vs := &varState{
+		home:    s.rng.Intn(s.m.P()),
+		owner:   v.Creator,
+		holders: map[int]struct{}{v.Creator: {}},
+	}
+	v.State = vs
+	s.cacheInsert(v, v.Creator)
+}
+
+func (s *strategy) FreeVar(v *core.Variable) {
+	vs := vstate(v)
+	for h := range vs.holders {
+		s.m.Cache(h).Remove(fhKey{v.ID, h})
+	}
+	v.State = nil
+}
+
+// Read implements core.Strategy (shared transaction slot held).
+func (s *strategy) Read(p *core.Proc, v *core.Variable) interface{} {
+	vs := vstate(v)
+	if _, ok := vs.holders[p.ID]; ok {
+		s.m.Cache(p.ID).Touch(fhKey{v.ID, p.ID})
+		return v.Data
+	}
+	r := &req{v: v, from: p.ID, fut: sim.NewFuture()}
+	s.m.Net.Send(&mesh.Msg{
+		Src: p.ID, Dst: vs.home,
+		Size: core.ReadReqBytes, Kind: kindReadReq, Payload: r,
+	})
+	return r.fut.Await(p.Proc)
+}
+
+func (s *strategy) onReadReq(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	vs := vstate(r.v)
+	if _, ok := vs.holders[vs.home]; ok || vs.owner == vs.home {
+		s.replyData(r)
+		return
+	}
+	// A processor owns the variable: fetch the copy; ownership moves back
+	// to the home ("a read access issued by another processor moves the
+	// ownership back to the main memory").
+	s.m.Net.Send(&mesh.Msg{
+		Src: vs.home, Dst: vs.owner,
+		Size: core.HeaderBytes, Kind: kindFetch, Payload: r,
+	})
+}
+
+func (s *strategy) onFetch(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	vs := vstate(r.v)
+	// The owner keeps its copy valid; the home becomes a holder too.
+	s.m.Net.Send(&mesh.Msg{
+		Src: vs.owner, Dst: vs.home,
+		Size: core.DataBytes(r.v.Size), Kind: kindFetchData, Payload: r,
+	})
+}
+
+func (s *strategy) onFetchData(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	vs := vstate(r.v)
+	vs.owner = vs.home
+	vs.holders[vs.home] = struct{}{}
+	s.cacheInsert(r.v, vs.home)
+	s.replyData(r)
+}
+
+// replyData sends the value from the home to the reader.
+func (s *strategy) replyData(r *req) {
+	vs := vstate(r.v)
+	s.m.Net.Send(&mesh.Msg{
+		Src: vs.home, Dst: r.from,
+		Size: core.DataBytes(r.v.Size), Kind: kindData, Payload: r,
+	})
+}
+
+func (s *strategy) onData(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	vs := vstate(r.v)
+	vs.holders[r.from] = struct{}{}
+	s.cacheInsert(r.v, r.from)
+	r.fut.Complete(s.m.K, r.v.Data)
+}
+
+// Write implements core.Strategy (exclusive transaction slot held).
+func (s *strategy) Write(p *core.Proc, v *core.Variable, val interface{}) {
+	vs := vstate(v)
+	if vs.owner == p.ID {
+		// "Write accesses of the owner can be served locally."
+		v.Data = val
+		s.m.Cache(p.ID).Touch(fhKey{v.ID, p.ID})
+		return
+	}
+	r := &req{v: v, from: p.ID, write: true, val: val, fut: sim.NewFuture()}
+	s.m.Net.Send(&mesh.Msg{
+		Src: p.ID, Dst: vs.home,
+		Size: core.InvalBytes, Kind: kindWriteReq, Payload: r,
+	})
+	r.fut.Await(p.Proc)
+}
+
+func (s *strategy) onWriteReq(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	vs := vstate(r.v)
+	targets := make([]int, 0, len(vs.holders))
+	for h := range vs.holders {
+		if h != r.from {
+			targets = append(targets, h)
+		}
+	}
+	sort.Ints(targets)
+	if len(targets) == 0 {
+		s.finishWrite(r)
+		return
+	}
+	vs.pending = &writeWait{n: len(targets), req: r}
+	for _, h := range targets {
+		s.m.Net.Send(&mesh.Msg{
+			Src: vs.home, Dst: h,
+			Size: core.InvalBytes, Kind: kindInval, Payload: r,
+		})
+	}
+}
+
+func (s *strategy) onInval(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	s.m.Cache(m.Dst).Remove(fhKey{r.v.ID, m.Dst})
+	s.m.Net.Send(&mesh.Msg{
+		Src: m.Dst, Dst: vstate(r.v).home,
+		Size: core.AckBytes, Kind: kindAck, Payload: r,
+	})
+}
+
+func (s *strategy) onAck(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	vs := vstate(r.v)
+	w := vs.pending
+	if w == nil || w.req != r {
+		panic("fixedhome: stray invalidation ack")
+	}
+	w.n--
+	if w.n == 0 {
+		vs.pending = nil
+		s.finishWrite(r)
+	}
+}
+
+// finishWrite installs the writer as owner and sole holder and grants the
+// write.
+func (s *strategy) finishWrite(r *req) {
+	vs := vstate(r.v)
+	for h := range vs.holders {
+		if h != r.from {
+			delete(vs.holders, h)
+		}
+	}
+	vs.owner = r.from
+	vs.holders[r.from] = struct{}{}
+	s.m.Net.Send(&mesh.Msg{
+		Src: vs.home, Dst: r.from,
+		Size: core.GrantBytes, Kind: kindGrant, Payload: r,
+	})
+}
+
+func (s *strategy) onGrant(m *mesh.Msg) {
+	r := m.Payload.(*req)
+	r.v.Data = r.val
+	s.cacheInsert(r.v, r.from)
+	r.fut.Complete(s.m.K, nil)
+}
+
+// fhKey identifies a copy in a node cache.
+type fhKey struct {
+	v    core.VarID
+	node int
+}
+
+// cacheInsert registers a copy for replacement tracking. Fixed-home copies
+// may always be dropped (except the owner's, which holds the only current
+// value), with a small notification to the home directory. With unbounded
+// caches this is free.
+func (s *strategy) cacheInsert(v *core.Variable, proc int) {
+	c := s.m.Cache(proc)
+	if !c.Bounded() {
+		return
+	}
+	key := fhKey{v.ID, proc}
+	c.Insert(key, v.Size, func() bool {
+		return s.tryEvict(v, proc)
+	})
+}
+
+func (s *strategy) tryEvict(v *core.Variable, proc int) bool {
+	if v.State == nil || !v.Idle() {
+		return false
+	}
+	vs := vstate(v)
+	if vs.owner == proc || vs.home == proc {
+		return false // the owner's copy is the only current one
+	}
+	if _, ok := vs.holders[proc]; !ok {
+		return false
+	}
+	delete(vs.holders, proc)
+	s.m.Cache(proc).Remove(fhKey{v.ID, proc})
+	// Notify the home so the directory stays exact (a real implementation
+	// may also use lazy directory cleaning; the message keeps congestion
+	// accounting honest).
+	s.m.Net.Send(&mesh.Msg{
+		Src: proc, Dst: vs.home,
+		Size: core.AckBytes, Kind: kindEvictNote,
+		Payload: &lockMsg{v: v, from: proc},
+	})
+	return true
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *strategy) String() string { return fmt.Sprintf("fixedhome(P=%d)", s.m.P()) }

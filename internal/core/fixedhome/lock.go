@@ -1,0 +1,109 @@
+package fixedhome
+
+import (
+	"diva/internal/core"
+	"diva/internal/mesh"
+	"diva/internal/sim"
+)
+
+// Locks in the fixed home strategy are managed by the variable's home
+// processor with a FIFO queue: LOCK-REQ travels to the home, the home
+// grants the lock or queues the requester, and UNLOCK releases it at the
+// home, which grants the next requester.
+
+type lockState struct {
+	held  bool
+	owner int
+	queue []int
+	// waiting maps a requesting processor to its blocked process future.
+	waiting map[int]*sim.Future
+}
+
+type lockMsg struct {
+	v    *core.Variable
+	from int
+}
+
+func (s *strategy) lockOf(v *core.Variable) *lockState {
+	vs := vstate(v)
+	if vs.lock == nil {
+		vs.lock = &lockState{owner: -1, waiting: make(map[int]*sim.Future)}
+	}
+	return vs.lock
+}
+
+// Lock implements core.Strategy.
+func (s *strategy) Lock(p *core.Proc, v *core.Variable) {
+	ls := s.lockOf(v)
+	if ls.owner == p.ID {
+		panic("fixedhome: recursive lock")
+	}
+	f := sim.NewFuture()
+	ls.waiting[p.ID] = f
+	s.m.Net.Send(&mesh.Msg{
+		Src: p.ID, Dst: vstate(v).home,
+		Size: core.LockBytes, Kind: kindLockReq,
+		Payload: &lockMsg{v: v, from: p.ID},
+	})
+	f.Await(p.Proc)
+	ls.owner = p.ID
+}
+
+func (s *strategy) onLockReq(m *mesh.Msg) {
+	lm := m.Payload.(*lockMsg)
+	ls := s.lockOf(lm.v)
+	if ls.held {
+		ls.queue = append(ls.queue, lm.from)
+		return
+	}
+	ls.held = true
+	s.grantLock(lm.v, lm.from)
+}
+
+func (s *strategy) grantLock(v *core.Variable, to int) {
+	s.m.Net.Send(&mesh.Msg{
+		Src: vstate(v).home, Dst: to,
+		Size: core.LockBytes, Kind: kindLockGrant,
+		Payload: &lockMsg{v: v, from: to},
+	})
+}
+
+func (s *strategy) onLockGrant(m *mesh.Msg) {
+	lm := m.Payload.(*lockMsg)
+	ls := s.lockOf(lm.v)
+	f := ls.waiting[lm.from]
+	if f == nil {
+		panic("fixedhome: lock granted to a non-waiter")
+	}
+	delete(ls.waiting, lm.from)
+	f.Complete(s.m.K, nil)
+}
+
+// Unlock implements core.Strategy.
+func (s *strategy) Unlock(p *core.Proc, v *core.Variable) {
+	ls := s.lockOf(v)
+	if ls.owner != p.ID {
+		panic("fixedhome: unlock by non-holder")
+	}
+	ls.owner = -1
+	s.m.Net.Send(&mesh.Msg{
+		Src: p.ID, Dst: vstate(v).home,
+		Size: core.LockBytes, Kind: kindLockRel,
+		Payload: &lockMsg{v: v, from: p.ID},
+	})
+}
+
+func (s *strategy) onLockRel(m *mesh.Msg) {
+	lm := m.Payload.(*lockMsg)
+	ls := s.lockOf(lm.v)
+	if !ls.held {
+		panic("fixedhome: release of a free lock")
+	}
+	if len(ls.queue) > 0 {
+		next := ls.queue[0]
+		ls.queue = ls.queue[1:]
+		s.grantLock(lm.v, next)
+		return
+	}
+	ls.held = false
+}

@@ -1,0 +1,245 @@
+// Package core implements the DIVA (Distributed Variables) library: fully
+// transparent access to global variables — shared data objects — from the
+// individual nodes of a simulated mesh-connected parallel machine.
+//
+// A Machine ties together the event kernel, the mesh network, the
+// hierarchical mesh decomposition and a data management strategy (the
+// access tree strategy of the paper, or the fixed-home baseline). Programs
+// are SPMD: the same function runs as one simulated process per processor
+// and accesses shared state exclusively through
+//
+//	v := p.Alloc(size, value)   // create a global variable
+//	x := p.Read(v)              // transparent read (may migrate copies)
+//	p.Write(v, y)               // transparent write (invalidates copies)
+//	p.Lock(v) / p.Unlock(v)     // per-variable mutual exclusion
+//	p.Barrier()                 // global barrier synchronization
+//
+// Reads and writes of the same variable are serialized by a per-variable
+// reader/writer queue (readers share, writers are exclusive, FIFO), which
+// models the request queueing of a real implementation; see DESIGN.md, D4.
+package core
+
+import (
+	"fmt"
+
+	"diva/internal/decomp"
+	"diva/internal/mesh"
+	"diva/internal/sim"
+	"diva/internal/xrand"
+)
+
+// Strategy is a dynamic data management strategy: it decides how many
+// copies of each variable exist, where they are placed, and how consistency
+// is maintained. Implemented by internal/core/accesstree and
+// internal/core/fixedhome.
+type Strategy interface {
+	// Name identifies the strategy in reports ("4-ary access tree", ...).
+	Name() string
+	// InitVar installs the initial configuration for a fresh variable: the
+	// creator holds the only copy.
+	InitVar(v *Variable)
+	// Read performs a read transaction for process p; it may block p. The
+	// caller holds the variable's shared transaction slot.
+	Read(p *Proc, v *Variable) interface{}
+	// Write performs a write transaction; it may block p. The caller holds
+	// the variable's exclusive transaction slot.
+	Write(p *Proc, v *Variable, val interface{})
+	// FreeVar releases all protocol state of v (no messages; see DESIGN D6).
+	FreeVar(v *Variable)
+	// Lock acquires the mutual-exclusion lock attached to v; Unlock
+	// releases it. Lock may block p.
+	Lock(p *Proc, v *Variable)
+	Unlock(p *Proc, v *Variable)
+}
+
+// Factory constructs a strategy bound to a machine. It is called once
+// during NewMachine, after the network and decomposition tree exist.
+type Factory func(*Machine) Strategy
+
+// Config describes a simulated machine.
+type Config struct {
+	Rows, Cols int         // mesh dimensions
+	Net        mesh.Params // timing; zero value means mesh.GCelParams()
+	Seed       uint64      // master random seed
+	Tree       decomp.Spec // decomposition for access trees and the barrier
+	Strategy   Factory     // data management strategy (nil: no shared vars)
+	// CacheCapacity bounds the memory for copies per node, in bytes.
+	// 0 means unbounded (the paper's default setting).
+	CacheCapacity int
+}
+
+// Machine is a simulated mesh machine running the DIVA library.
+type Machine struct {
+	K    *sim.Kernel
+	Net  *mesh.Network
+	Mesh mesh.Mesh
+	Tree *decomp.Tree
+	Cfg  Config
+	RNG  *xrand.RNG
+
+	Strat  Strategy
+	vars   []*Variable
+	caches []Cache
+
+	bar *barrier
+
+	procs []*Proc
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		panic("core: mesh dimensions must be positive")
+	}
+	if cfg.Net.BytesPerUS == 0 {
+		cfg.Net = mesh.GCelParams()
+	}
+	if cfg.Tree.Base == 0 {
+		cfg.Tree = decomp.Ary4
+	}
+	m := &Machine{
+		K:    sim.New(),
+		Mesh: mesh.New(cfg.Rows, cfg.Cols),
+		Cfg:  cfg,
+		RNG:  xrand.New(cfg.Seed ^ 0xd1b54a32d192ed03),
+	}
+	m.Net = mesh.NewNetwork(m.K, m.Mesh, cfg.Net)
+	m.Tree = decomp.Build(m.Mesh, cfg.Tree)
+	m.caches = make([]Cache, m.Mesh.N())
+	for i := range m.caches {
+		m.caches[i].capacity = cfg.CacheCapacity
+	}
+	m.bar = newBarrier(m)
+	if cfg.Strategy != nil {
+		m.Strat = cfg.Strategy(m)
+	}
+	return m
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.Mesh.N() }
+
+// Var returns the variable record for id. Freed or unknown ids panic.
+func (m *Machine) Var(id VarID) *Variable {
+	if int(id) < 0 || int(id) >= len(m.vars) || m.vars[id] == nil {
+		panic(fmt.Sprintf("core: access to invalid variable %d", id))
+	}
+	return m.vars[id]
+}
+
+// Cache returns node's copy cache (used by strategies).
+func (m *Machine) Cache(node int) *Cache { return &m.caches[node] }
+
+// Proc is a simulated application process pinned to one processor.
+type Proc struct {
+	*sim.Proc
+	ID int // processor id, row-major
+	M  *Machine
+}
+
+// Run spawns one process per processor executing program and runs the
+// simulation to completion. It returns the kernel's error (deadlocks
+// surface here).
+func (m *Machine) Run(program func(p *Proc)) error {
+	m.SpawnAll(program)
+	return m.K.Run()
+}
+
+// SpawnAll spawns the SPMD processes without running the kernel; use
+// together with m.K.Run when the caller schedules additional activity.
+func (m *Machine) SpawnAll(program func(p *Proc)) {
+	for i := 0; i < m.P(); i++ {
+		p := &Proc{ID: i, M: m}
+		m.procs = append(m.procs, p)
+		p.Proc = m.K.Spawn(fmt.Sprintf("p%d", i), func(sp *sim.Proc) {
+			program(p)
+		})
+	}
+}
+
+// Elapsed returns the current simulated time in microseconds.
+func (m *Machine) Elapsed() sim.Time { return m.K.Now() }
+
+// Compute charges d microseconds of application computation to p's CPU.
+func (p *Proc) Compute(d float64) { p.M.Net.Compute(p.Proc, p.ID, d) }
+
+// Alloc creates a global variable of the given payload size (bytes) with
+// initial value val, owned by the calling process (the only copy lives in
+// its cache). It is a purely local operation.
+func (p *Proc) Alloc(size int, val interface{}) VarID {
+	return p.M.alloc(p.ID, size, val)
+}
+
+// AllocAt creates a variable owned by the given processor from outside any
+// process (setup code at time zero).
+func (m *Machine) AllocAt(creator, size int, val interface{}) VarID {
+	return m.alloc(creator, size, val)
+}
+
+func (m *Machine) alloc(creator, size int, val interface{}) VarID {
+	if m.Strat == nil {
+		panic("core: machine has no data management strategy")
+	}
+	if size <= 0 {
+		panic("core: variable size must be positive")
+	}
+	v := &Variable{
+		ID:      VarID(len(m.vars)),
+		Size:    size,
+		Creator: creator,
+		Data:    val,
+	}
+	m.vars = append(m.vars, v)
+	m.Strat.InitVar(v)
+	return v.ID
+}
+
+// Free releases a variable's protocol state on all nodes. Local operation;
+// the id must not be used afterwards.
+func (m *Machine) Free(id VarID) {
+	v := m.Var(id)
+	if v.busy() {
+		panic(fmt.Sprintf("core: freeing variable %d with active transactions", id))
+	}
+	m.Strat.FreeVar(v)
+	m.vars[id] = nil
+}
+
+// Read returns the current value of v, migrating or replicating copies
+// according to the machine's strategy. Blocks until the value is local.
+func (p *Proc) Read(id VarID) interface{} {
+	v := p.M.Var(id)
+	v.acquireRead(p)
+	val := p.M.Strat.Read(p, v)
+	v.releaseRead(p.M.K)
+	return val
+}
+
+// Write replaces the value of v, invalidating remote copies according to
+// the machine's strategy. Values must be treated as immutable: writers
+// store fresh values, they never mutate a value obtained from Read.
+func (p *Proc) Write(id VarID, val interface{}) {
+	v := p.M.Var(id)
+	v.acquireWrite(p)
+	p.M.Strat.Write(p, v, val)
+	v.releaseWrite(p.M.K)
+}
+
+// Lock acquires the mutual-exclusion lock attached to variable id.
+func (p *Proc) Lock(id VarID) { p.M.Strat.Lock(p, p.M.Var(id)) }
+
+// Unlock releases the lock attached to variable id.
+func (p *Proc) Unlock(id VarID) { p.M.Strat.Unlock(p, p.M.Var(id)) }
+
+// Barrier blocks until every processor has entered the barrier. The
+// implementation combines arrivals up the decomposition tree and multicasts
+// the release down it ("elegant algorithms that use access trees, too").
+func (p *Proc) Barrier() { p.M.bar.wait(p, nil, nil, 0) }
+
+// BarrierReduce is Barrier with an all-reduce: every process contributes
+// val; combine must be associative and identical on all processes; the
+// combined value (in leaf order) is returned to every process. size is the
+// payload size in bytes added to the barrier messages.
+func (p *Proc) BarrierReduce(val interface{}, size int, combine func(a, b interface{}) interface{}) interface{} {
+	return p.M.bar.wait(p, val, combine, size)
+}

@@ -1,0 +1,111 @@
+package core
+
+import "diva/internal/sim"
+
+// VarID names a global variable.
+type VarID int32
+
+// Variable is the machine-wide record of a global variable. Strategies hang
+// their per-variable protocol state off State and LockState.
+type Variable struct {
+	ID      VarID
+	Size    int // payload size in bytes (fixed at Alloc)
+	Creator int
+	// Data is the current committed value. Values are immutable by
+	// convention; Write installs a fresh value.
+	Data interface{}
+	// State is owned by the data management strategy.
+	State interface{}
+	// LockState is owned by the strategy's lock implementation.
+	LockState interface{}
+
+	rw rwQueue
+}
+
+// rwQueue serializes transactions on one variable: concurrent readers are
+// admitted together, writers are exclusive, and admission is FIFO (a queued
+// writer blocks later readers, preventing starvation). This models the
+// request queueing that a real DSM implementation performs at copy holders
+// (DESIGN.md, D4) without charging extra messages.
+type rwQueue struct {
+	readers int
+	writer  bool
+	waiters []rwWaiter
+}
+
+type rwWaiter struct {
+	write bool
+	fut   *sim.Future
+}
+
+func (v *Variable) busy() bool {
+	return v.rw.readers > 0 || v.rw.writer || len(v.rw.waiters) > 0
+}
+
+// Idle reports whether no transaction is active or queued on v. Used by
+// the replacement machinery: only idle variables may lose copies.
+func (v *Variable) Idle() bool { return !v.busy() }
+
+func (v *Variable) acquireRead(p *Proc) {
+	q := &v.rw
+	if !q.writer && len(q.waiters) == 0 {
+		q.readers++
+		return
+	}
+	f := sim.NewFuture()
+	q.waiters = append(q.waiters, rwWaiter{write: false, fut: f})
+	f.Await(p.Proc)
+	// The releaser admitted us: the reader count was already incremented.
+}
+
+func (v *Variable) releaseRead(k *sim.Kernel) {
+	q := &v.rw
+	q.readers--
+	if q.readers < 0 {
+		panic("core: read release without acquire")
+	}
+	q.pump(k)
+}
+
+func (v *Variable) acquireWrite(p *Proc) {
+	q := &v.rw
+	if !q.writer && q.readers == 0 && len(q.waiters) == 0 {
+		q.writer = true
+		return
+	}
+	f := sim.NewFuture()
+	q.waiters = append(q.waiters, rwWaiter{write: true, fut: f})
+	f.Await(p.Proc)
+}
+
+func (v *Variable) releaseWrite(k *sim.Kernel) {
+	q := &v.rw
+	if !q.writer {
+		panic("core: write release without acquire")
+	}
+	q.writer = false
+	q.pump(k)
+}
+
+// pump admits queued transactions in FIFO order: a writer when the variable
+// is fully idle, then a maximal run of readers.
+func (q *rwQueue) pump(k *sim.Kernel) {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		if w.write {
+			if q.writer || q.readers > 0 {
+				return
+			}
+			q.writer = true
+			q.waiters = q.waiters[1:]
+			w.fut.Complete(k, nil)
+			return
+		}
+		if q.writer {
+			return
+		}
+		q.readers++
+		q.waiters = q.waiters[1:]
+		w.fut.Complete(k, nil)
+	}
+}

@@ -1,0 +1,267 @@
+// Package decomp implements the hierarchical mesh decomposition of the
+// paper (§2) and the decomposition trees derived from it.
+//
+// The 2-ary decomposition of an m1×m2 mesh (m1 ≥ m2) recursively splits the
+// longer side into ⌈m1/2⌉×m2 and ⌊m1/2⌋×m2 submeshes until single
+// processors remain (Figure 1 of the paper). The decomposition tree has one
+// node per submesh; the access tree of every global variable is a copy of
+// this tree.
+//
+// Flatter trees reduce startup costs: the 4-ary decomposition skips the odd
+// levels of the 2-ary one, the 16-ary skips the odd levels of the 4-ary
+// one, and the ℓ-k-ary decomposition terminates at submeshes of size ≤ k,
+// whose processors become direct children ("an access tree node that
+// represents a submesh of size k' ≤ k gets k' children").
+//
+// The left-to-right order of the tree's leaves defines the processor
+// ident-numbers used by bitonic sorting and the costzones partitioning.
+package decomp
+
+import (
+	"fmt"
+
+	"diva/internal/mesh"
+)
+
+// Spec selects a decomposition-tree variant.
+type Spec struct {
+	// Base is ℓ: 2, 4 or 16. A tree edge descends log2(Base) levels of the
+	// underlying 2-ary decomposition.
+	Base int
+	// TermK is k: if nonzero, the decomposition terminates at submeshes of
+	// size ≤ k and attaches their processors as direct children. Zero means
+	// decompose down to single processors.
+	TermK int
+}
+
+// The variants evaluated in the paper.
+var (
+	Ary2    = Spec{Base: 2}
+	Ary4    = Spec{Base: 4}
+	Ary16   = Spec{Base: 16}
+	Ary2K4  = Spec{Base: 2, TermK: 4}
+	Ary4K8  = Spec{Base: 4, TermK: 8}
+	Ary4K16 = Spec{Base: 4, TermK: 16}
+)
+
+// Valid reports whether the spec is one the library supports.
+func (s Spec) Valid() bool {
+	switch s.Base {
+	case 2, 4, 16:
+	default:
+		return false
+	}
+	return s.TermK == 0 || s.TermK >= s.Base
+}
+
+// Name returns the paper's name for the variant ("2-ary", "2-4-ary", ...).
+func (s Spec) Name() string {
+	if s.TermK > 0 {
+		return fmt.Sprintf("%d-%d-ary", s.Base, s.TermK)
+	}
+	return fmt.Sprintf("%d-ary", s.Base)
+}
+
+// levelsPerEdge returns how many 2-ary decomposition levels one tree edge
+// descends.
+func (s Spec) levelsPerEdge() int {
+	switch s.Base {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 16:
+		return 4
+	}
+	panic("decomp: invalid Base " + fmt.Sprint(s.Base))
+}
+
+// Rect is a submesh: rows [R0, R0+Rows) × columns [C0, C0+Cols).
+type Rect struct {
+	R0, C0, Rows, Cols int
+}
+
+// Size returns the number of processors in the submesh.
+func (r Rect) Size() int { return r.Rows * r.Cols }
+
+// Single reports whether the submesh is a single processor.
+func (r Rect) Single() bool { return r.Rows == 1 && r.Cols == 1 }
+
+// Contains reports whether the coordinate lies in the submesh.
+func (r Rect) Contains(c mesh.Coord) bool {
+	return c.Row >= r.R0 && c.Row < r.R0+r.Rows && c.Col >= r.C0 && c.Col < r.C0+r.Cols
+}
+
+// Split applies the paper's halving rule: the longer side (rows on ties) is
+// split into ⌈n/2⌉ and ⌊n/2⌋. Splitting a single processor panics.
+func (r Rect) Split() (a, b Rect) {
+	if r.Single() {
+		panic("decomp: splitting a single processor")
+	}
+	if r.Rows >= r.Cols {
+		h := (r.Rows + 1) / 2
+		a = Rect{R0: r.R0, C0: r.C0, Rows: h, Cols: r.Cols}
+		b = Rect{R0: r.R0 + h, C0: r.C0, Rows: r.Rows - h, Cols: r.Cols}
+		return a, b
+	}
+	w := (r.Cols + 1) / 2
+	a = Rect{R0: r.R0, C0: r.C0, Rows: r.Rows, Cols: w}
+	b = Rect{R0: r.R0, C0: r.C0 + w, Rows: r.Rows, Cols: r.Cols - w}
+	return a, b
+}
+
+// Node is one node of a decomposition tree.
+type Node struct {
+	ID       int
+	Parent   int // -1 for the root
+	Children []int
+	Rect     Rect
+	Depth    int // depth in this tree (root = 0)
+	// ChildIndex is this node's index in its parent's Children slice
+	// (-1 for the root).
+	ChildIndex int
+	// LeafIndex is the left-to-right leaf number (-1 for internal nodes).
+	LeafIndex int
+}
+
+// Leaf reports whether the node is a leaf (a single processor).
+func (n *Node) Leaf() bool { return len(n.Children) == 0 }
+
+// Tree is a decomposition tree over a mesh.
+type Tree struct {
+	M     mesh.Mesh
+	Spec  Spec
+	Nodes []Node
+
+	// Leaves maps leaf index -> node id, in left-to-right order.
+	Leaves []int
+	// LeafOfProc maps a row-major processor id to its leaf node id.
+	LeafOfProc []int
+	// ProcOfLeaf maps leaf index -> row-major processor id. This is the
+	// processor ident-numbering used by bitonic sorting and costzones.
+	ProcOfLeaf []int
+	// MaxDepth is the depth of the deepest leaf.
+	MaxDepth int
+}
+
+// Build constructs the decomposition tree for m according to spec.
+func Build(m mesh.Mesh, spec Spec) *Tree {
+	if !spec.Valid() {
+		panic(fmt.Sprintf("decomp: invalid spec %+v", spec))
+	}
+	t := &Tree{M: m, Spec: spec, LeafOfProc: make([]int, m.N())}
+	for i := range t.LeafOfProc {
+		t.LeafOfProc[i] = -1
+	}
+	root := Rect{Rows: m.Rows, Cols: m.Cols}
+	t.build(root, -1, -1, 0)
+	if len(t.Leaves) != m.N() {
+		panic(fmt.Sprintf("decomp: built %d leaves for %d processors", len(t.Leaves), m.N()))
+	}
+	return t
+}
+
+// build materializes the node for rect and recursively its children.
+func (t *Tree) build(rect Rect, parent, childIndex, depth int) int {
+	id := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{
+		ID: id, Parent: parent, Rect: rect, Depth: depth,
+		ChildIndex: childIndex, LeafIndex: -1,
+	})
+	if depth > t.MaxDepth {
+		t.MaxDepth = depth
+	}
+	switch {
+	case rect.Single():
+		t.addLeaf(id, rect)
+	case t.Spec.TermK > 0 && rect.Size() <= t.Spec.TermK:
+		// Terminal node: one leaf child per processor, in the 2-ary
+		// decomposition order of the submesh.
+		for _, cell := range decompOrder(rect) {
+			cid := t.build(cell, id, len(t.Nodes[id].Children), depth+1)
+			t.Nodes[id].Children = append(t.Nodes[id].Children, cid)
+		}
+	default:
+		for _, sub := range descend(rect, t.Spec.levelsPerEdge()) {
+			cid := t.build(sub, id, len(t.Nodes[id].Children), depth+1)
+			t.Nodes[id].Children = append(t.Nodes[id].Children, cid)
+		}
+	}
+	return id
+}
+
+func (t *Tree) addLeaf(id int, rect Rect) {
+	proc := t.M.ID(mesh.Coord{Row: rect.R0, Col: rect.C0})
+	t.Nodes[id].LeafIndex = len(t.Leaves)
+	t.Leaves = append(t.Leaves, id)
+	t.ProcOfLeaf = append(t.ProcOfLeaf, proc)
+	t.LeafOfProc[proc] = id
+}
+
+// descend splits rect through `levels` binary levels and returns the
+// resulting submeshes in decomposition order. Submeshes that reach a single
+// processor early are returned as-is (this is how a 4-ary tree attaches a
+// leaf that appears at an odd 2-ary level).
+func descend(rect Rect, levels int) []Rect {
+	if levels == 0 || rect.Single() {
+		return []Rect{rect}
+	}
+	a, b := rect.Split()
+	return append(descend(a, levels-1), descend(b, levels-1)...)
+}
+
+// decompOrder returns the single processors of rect in the order of the
+// 2-ary decomposition's leaves.
+func decompOrder(rect Rect) []Rect {
+	if rect.Single() {
+		return []Rect{rect}
+	}
+	a, b := rect.Split()
+	return append(decompOrder(a), decompOrder(b)...)
+}
+
+// Root returns the root node id (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// PathToRoot returns the node ids from `node` up to and including the root.
+func (t *Tree) PathToRoot(node int) []int {
+	var path []int
+	for node != -1 {
+		path = append(path, node)
+		node = t.Nodes[node].Parent
+	}
+	return path
+}
+
+// PathDown returns the node ids from the root down to `node`, inclusive.
+func (t *Tree) PathDown(node int) []int {
+	up := t.PathToRoot(node)
+	for i, j := 0, len(up)-1; i < j; i, j = i+1, j-1 {
+		up[i], up[j] = up[j], up[i]
+	}
+	return up
+}
+
+// TreePath returns the unique tree path between nodes a and b, inclusive of
+// both endpoints.
+func (t *Tree) TreePath(a, b int) []int {
+	pa := t.PathToRoot(a) // a ... root
+	pb := t.PathToRoot(b) // b ... root
+	// Trim the common suffix down to the lowest common ancestor.
+	i, j := len(pa)-1, len(pb)-1
+	for i > 0 && j > 0 && pa[i-1] == pb[j-1] {
+		i--
+		j--
+	}
+	path := append([]int{}, pa[:i+1]...) // a ... lca
+	for k := j - 1; k >= 0; k-- {        // lca-1 ... b
+		path = append(path, pb[k])
+	}
+	return path
+}
+
+// LeafDist returns the tree distance (number of edges) between the leaves
+// of processors p and q.
+func (t *Tree) LeafDist(p, q int) int {
+	return len(t.TreePath(t.LeafOfProc[p], t.LeafOfProc[q])) - 1
+}

@@ -1,0 +1,143 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diva/internal/mesh"
+	"diva/internal/xrand"
+)
+
+// TestEmbedChildStaysInSubmesh: the modular embedding always maps a node
+// into its own submesh.
+func TestEmbedChildStaysInSubmesh(t *testing.T) {
+	for _, spec := range []Spec{Ary2, Ary4, Ary16, Ary2K4, Ary4K16} {
+		tr := Build(mesh.New(16, 16), spec)
+		rng := xrand.New(11)
+		for trial := 0; trial < 20; trial++ {
+			root := tr.RandomRoot(rng)
+			pos := tr.EmbedAll(root)
+			for id, n := range tr.Nodes {
+				if !n.Rect.Contains(pos[id]) {
+					t.Fatalf("%s: node %d at %v outside %+v", spec.Name(), id, pos[id], n.Rect)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedLeafIsItself: a leaf's submesh is a single processor, so every
+// embedding maps the leaf onto that processor.
+func TestEmbedLeafIsItself(t *testing.T) {
+	tr := Build(mesh.New(8, 8), Ary2)
+	pos := tr.EmbedAll(mesh.Coord{Row: 3, Col: 5})
+	for _, nid := range tr.Leaves {
+		n := tr.Nodes[nid]
+		want := mesh.Coord{Row: n.Rect.R0, Col: n.Rect.C0}
+		if pos[nid] != want {
+			t.Fatalf("leaf %d embedded at %v, want %v", nid, pos[nid], want)
+		}
+	}
+}
+
+// TestModularRule checks the paper's formula directly on a known case.
+func TestModularRule(t *testing.T) {
+	tr := Build(mesh.New(4, 4), Ary2)
+	root := tr.Nodes[0]
+	// Root at row 3, col 2. First child is the top 2x4 submesh:
+	// i = 3, j = 2 relative to root; child pos = (3 mod 2, 2 mod 4) = (1, 2).
+	child := tr.Nodes[root.Children[0]]
+	got := tr.EmbedChild(mesh.Coord{Row: 3, Col: 2}, child.ID)
+	want := mesh.Coord{Row: child.Rect.R0 + 1, Col: child.Rect.C0 + 2}
+	if got != want {
+		t.Fatalf("EmbedChild = %v, want %v", got, want)
+	}
+}
+
+// TestEmbedDeterministic: same root, same positions.
+func TestEmbedDeterministic(t *testing.T) {
+	tr := Build(mesh.New(16, 16), Ary4)
+	a := tr.EmbedAll(mesh.Coord{Row: 7, Col: 9})
+	b := tr.EmbedAll(mesh.Coord{Row: 7, Col: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+// TestEmbedPathDownMatchesEmbedAll: incremental path embedding agrees with
+// the full embedding.
+func TestEmbedPathDownMatchesEmbedAll(t *testing.T) {
+	tr := Build(mesh.New(16, 16), Ary2)
+	root := mesh.Coord{Row: 2, Col: 13}
+	all := tr.EmbedAll(root)
+	check := func(x uint16) bool {
+		leaf := tr.Leaves[int(x)%len(tr.Leaves)]
+		path := tr.PathDown(leaf)
+		pos := tr.EmbedPathDown(root, path)
+		for i, nid := range path {
+			if pos[i] != all[nid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomPosInSubmesh: the ablation embedding also stays inside the
+// submesh and is a pure function of (seed, node).
+func TestRandomPosInSubmesh(t *testing.T) {
+	tr := Build(mesh.New(16, 16), Ary4)
+	for id, n := range tr.Nodes {
+		p1 := tr.RandomPos(12345, id)
+		p2 := tr.RandomPos(12345, id)
+		if p1 != p2 {
+			t.Fatal("RandomPos not deterministic")
+		}
+		if !n.Rect.Contains(p1) {
+			t.Fatalf("RandomPos %v outside %+v", p1, n.Rect)
+		}
+	}
+}
+
+// TestModularEmbeddingShortensPaths: the point of the modified embedding —
+// expected parent-child mesh distance is smaller than under the fully
+// random embedding.
+func TestModularEmbeddingShortensPaths(t *testing.T) {
+	tr := Build(mesh.New(16, 16), Ary2)
+	rng := xrand.New(99)
+	var modular, random float64
+	count := 0
+	for trial := 0; trial < 50; trial++ {
+		root := tr.RandomRoot(rng)
+		pos := tr.EmbedAll(root)
+		seed := rng.Uint64()
+		for id, n := range tr.Nodes {
+			if n.Parent == -1 {
+				continue
+			}
+			pm := pos[id]
+			pp := pos[n.Parent]
+			modular += float64(abs(pm.Row-pp.Row) + abs(pm.Col-pp.Col))
+			rm := tr.RandomPos(seed, id)
+			rp := tr.RandomPos(seed, n.Parent)
+			random += float64(abs(rm.Row-rp.Row) + abs(rm.Col-rp.Col))
+			count++
+		}
+	}
+	if modular >= random {
+		t.Fatalf("modular embedding (%0.1f) not shorter than random (%0.1f)",
+			modular/float64(count), random/float64(count))
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

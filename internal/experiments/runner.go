@@ -1,0 +1,153 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§3): the matrix multiplication ratio studies (Figures 3 and 4), the
+// bitonic sorting ratio studies (Figures 6 and 7), the Barnes-Hut curves
+// (Figures 8, 9, 10), the Barnes-Hut scaling study (Figure 11), and the
+// illustrative Figures 1, 2 and 5. Each figure prints the measured series
+// next to the values reported in the paper.
+//
+// Absolute times depend on the simulated machine's constants; the paper's
+// qualitative shape — who wins, by what factor, how ratios scale with
+// network size — is what these experiments reproduce (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"diva/internal/core"
+	"diva/internal/core/accesstree"
+	"diva/internal/core/fixedhome"
+	"diva/internal/decomp"
+)
+
+// Runner executes figures. Quick mode shrinks meshes and inputs so the full
+// suite completes in seconds-to-minutes instead of tens of minutes.
+type Runner struct {
+	W     io.Writer
+	Quick bool
+	Seed  uint64
+
+	bhCache map[string][]bhRow
+}
+
+// New returns a runner writing to w.
+func New(w io.Writer, quick bool, seed uint64) *Runner {
+	return &Runner{W: w, Quick: quick, Seed: seed, bhCache: make(map[string][]bhRow)}
+}
+
+// Figures lists the available experiment names in order.
+var Figures = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11",
+	"ablation-embed", "ablation-arity", "ablation-remap", "ablation-replacement"}
+
+// Run executes one figure by name.
+func (r *Runner) Run(name string) error {
+	switch name {
+	case "1":
+		return r.Fig1()
+	case "2":
+		return r.Fig2()
+	case "3":
+		return r.Fig3()
+	case "4":
+		return r.Fig4()
+	case "5":
+		return r.Fig5()
+	case "6":
+		return r.Fig6()
+	case "7":
+		return r.Fig7()
+	case "8":
+		return r.Fig8()
+	case "9":
+		return r.Fig9()
+	case "10":
+		return r.Fig10()
+	case "11":
+		return r.Fig11()
+	case "ablation-embed":
+		return r.AblationEmbedding()
+	case "ablation-arity":
+		return r.AblationArity()
+	case "ablation-remap":
+		return r.AblationRemap()
+	case "ablation-replacement":
+		return r.AblationReplacement()
+	}
+	return fmt.Errorf("experiments: unknown figure %q (have %v)", name, Figures)
+}
+
+// RunAll executes every figure.
+func (r *Runner) RunAll() error {
+	for _, f := range Figures {
+		if err := r.Run(f); err != nil {
+			return fmt.Errorf("figure %s: %w", f, err)
+		}
+		fmt.Fprintln(r.W)
+	}
+	return nil
+}
+
+// machine builds a machine for one experiment run.
+func (r *Runner) machine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
+	return core.NewMachine(core.Config{
+		Rows: rows, Cols: cols,
+		Seed:     r.Seed,
+		Tree:     spec,
+		Strategy: f,
+	})
+}
+
+// strategyUnderTest pairs a display name with its configuration.
+type strategyUnderTest struct {
+	name string
+	spec decomp.Spec
+	fact core.Factory
+}
+
+func atStrategy(spec decomp.Spec) strategyUnderTest {
+	return strategyUnderTest{name: spec.Name() + " AT", spec: spec, fact: accesstree.Factory()}
+}
+
+func fhStrategy() strategyUnderTest {
+	return strategyUnderTest{name: "fixed home", spec: decomp.Ary4, fact: fixedhome.Factory()}
+}
+
+// --- formatting helpers ---
+
+func (r *Runner) header(title string) {
+	fmt.Fprintf(r.W, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// table prints aligned columns.
+func table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }

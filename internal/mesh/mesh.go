@@ -1,0 +1,186 @@
+// Package mesh models a 2-dimensional mesh-connected parallel machine in
+// the style of the Parsytec GCel used in the paper: wormhole
+// dimension-order routing, per-link bandwidth, per-message startup cost, and
+// per-link congestion accounting (both message counts and bytes).
+//
+// The mesh is the only network topology implemented, matching the paper's
+// experimental platform; the routing and accounting layers are written so
+// that other hierarchically decomposable topologies could be added.
+package mesh
+
+import "fmt"
+
+// Coord is a mesh position. Row 0 is the top row, column 0 the left column.
+type Coord struct {
+	Row, Col int
+}
+
+// Mesh describes an R×C mesh. Node IDs are assigned in row-major order,
+// matching the paper's processor numbering ("processors are numbered from 0
+// to P-1 in row major order").
+type Mesh struct {
+	Rows, Cols int
+}
+
+// New returns a mesh with the given dimensions. It panics on non-positive
+// dimensions.
+func New(rows, cols int) Mesh {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", rows, cols))
+	}
+	return Mesh{Rows: rows, Cols: cols}
+}
+
+// N returns the number of nodes.
+func (m Mesh) N() int { return m.Rows * m.Cols }
+
+// ID returns the row-major node id of c.
+func (m Mesh) ID(c Coord) int {
+	if !m.Contains(c) {
+		panic(fmt.Sprintf("mesh: coord %v outside %dx%d", c, m.Rows, m.Cols))
+	}
+	return c.Row*m.Cols + c.Col
+}
+
+// CoordOf returns the coordinates of node id.
+func (m Mesh) CoordOf(id int) Coord {
+	if id < 0 || id >= m.N() {
+		panic(fmt.Sprintf("mesh: node %d outside %dx%d", id, m.Rows, m.Cols))
+	}
+	return Coord{Row: id / m.Cols, Col: id % m.Cols}
+}
+
+// Contains reports whether c lies inside the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.Row >= 0 && c.Row < m.Rows && c.Col >= 0 && c.Col < m.Cols
+}
+
+// Dist returns the Manhattan distance between nodes a and b, which equals
+// the length of the dimension-order path.
+func (m Mesh) Dist(a, b int) int {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	return abs(ca.Row-cb.Row) + abs(ca.Col-cb.Col)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Dir identifies one of the four directed link directions leaving a node.
+type Dir uint8
+
+// Link directions. East increases the column, South increases the row.
+const (
+	East Dir = iota
+	West
+	South
+	North
+	numDirs
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	switch d {
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case South:
+		return "S"
+	case North:
+		return "N"
+	}
+	return "?"
+}
+
+// NumLinks returns the size of the directed-link index space (4 slots per
+// node; border slots exist but are never used).
+func (m Mesh) NumLinks() int { return m.N() * int(numDirs) }
+
+// LinkID returns the directed link index for the link leaving node in
+// direction d. The caller must ensure the link exists (HasLink).
+func (m Mesh) LinkID(node int, d Dir) int { return node*int(numDirs) + int(d) }
+
+// LinkOf inverts LinkID.
+func (m Mesh) LinkOf(link int) (node int, d Dir) {
+	return link / int(numDirs), Dir(link % int(numDirs))
+}
+
+// HasLink reports whether node has an outgoing link in direction d.
+func (m Mesh) HasLink(node int, d Dir) bool {
+	c := m.CoordOf(node)
+	switch d {
+	case East:
+		return c.Col+1 < m.Cols
+	case West:
+		return c.Col > 0
+	case South:
+		return c.Row+1 < m.Rows
+	case North:
+		return c.Row > 0
+	}
+	return false
+}
+
+// Neighbor returns the node reached from node in direction d. The link must
+// exist.
+func (m Mesh) Neighbor(node int, d Dir) int {
+	c := m.CoordOf(node)
+	switch d {
+	case East:
+		c.Col++
+	case West:
+		c.Col--
+	case South:
+		c.Row++
+	case North:
+		c.Row--
+	}
+	return m.ID(c)
+}
+
+// PathLinks returns the directed links of the dimension-order path from a
+// to b: first all edges of dimension 1 (columns / X), then all edges of
+// dimension 2 (rows / Y) — the unique shortest path the GCel wormhole
+// router uses. a == b yields an empty path.
+func (m Mesh) PathLinks(a, b int) []int {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	links := make([]int, 0, abs(ca.Col-cb.Col)+abs(ca.Row-cb.Row))
+	cur := ca
+	for cur.Col != cb.Col {
+		d := East
+		if cb.Col < cur.Col {
+			d = West
+		}
+		node := m.ID(cur)
+		links = append(links, m.LinkID(node, d))
+		cur = m.CoordOf(m.Neighbor(node, d))
+	}
+	for cur.Row != cb.Row {
+		d := South
+		if cb.Row < cur.Row {
+			d = North
+		}
+		node := m.ID(cur)
+		links = append(links, m.LinkID(node, d))
+		cur = m.CoordOf(m.Neighbor(node, d))
+	}
+	return links
+}
+
+// PathNodes returns the node sequence of the dimension-order path from a to
+// b, inclusive of both endpoints.
+func (m Mesh) PathNodes(a, b int) []int {
+	nodes := []int{a}
+	for _, l := range m.PathLinks(a, b) {
+		n, d := m.LinkOf(l)
+		nodes = append(nodes, m.Neighbor(n, d))
+	}
+	return nodes
+}
+
+// String implements fmt.Stringer.
+func (m Mesh) String() string { return fmt.Sprintf("%dx%d mesh", m.Rows, m.Cols) }

@@ -1,0 +1,342 @@
+package mesh
+
+import (
+	"fmt"
+
+	"diva/internal/sim"
+)
+
+// Params holds the timing characteristics of the simulated machine. The
+// defaults (GCelParams) are calibrated against the numbers reported in §3 of
+// the paper for the Parsytec GCel.
+type Params struct {
+	// BytesPerUS is the link bandwidth in bytes per microsecond
+	// (1.0 ≈ 1 MB/s, the measured GCel link bandwidth). Both directions of
+	// a link are independent, as measured in the paper.
+	BytesPerUS float64
+	// HopLatencyUS is the per-hop head latency of the wormhole router.
+	HopLatencyUS float64
+	// StartupSendUS is the per-message software overhead at the sender
+	// ("the sending of a message by a processor is called a startup").
+	StartupSendUS float64
+	// StartupRecvUS is the overhead of the receiving processor, which the
+	// paper includes in the startup cost.
+	StartupRecvUS float64
+	// LocalDeliveryUS is the cost of a message between two simulated tree
+	// nodes hosted on the same processor (a function call, no network).
+	LocalDeliveryUS float64
+	// NoBackpressure disables wormhole path holding: links are then
+	// occupied independently for one message duration each. The default
+	// (false) models wormhole routing, where a message holds every link
+	// of its path until its tail has drained — so congestion around a
+	// hotspot backs up the paths leading to it, as on the real machine.
+	NoBackpressure bool
+}
+
+// GCelParams returns timing parameters modeled on the Parsytec GCel: 1
+// byte/µs links, large per-message startup (full bandwidth is only reached
+// near 1 KB messages), link/processor speed ratio ≈ 0.86, and a
+// substantial per-hop latency (the T805-era routing involves processors
+// that are roughly as slow as the links).
+func GCelParams() Params {
+	return Params{
+		BytesPerUS:      1.0,
+		HopLatencyUS:    40,
+		StartupSendUS:   100,
+		StartupRecvUS:   100,
+		LocalDeliveryUS: 2,
+	}
+}
+
+// Msg is a message in flight. Size is the wire size in bytes including
+// headers; Kind selects the registered handler at the destination; Tag and
+// Payload are opaque to the network.
+type Msg struct {
+	Src, Dst int
+	Size     int
+	Kind     uint8
+	Tag      int
+	Payload  interface{}
+}
+
+// LinkLoad is the accumulated traffic of one directed link.
+type LinkLoad struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
+type link struct {
+	busyUntil sim.Time
+	load      LinkLoad
+}
+
+// Handler processes a delivered message at its destination, in event
+// context. Handlers must not block; they may send further messages and
+// complete futures.
+type Handler func(*Msg)
+
+// Network simulates the mesh interconnect: routing, contention, congestion
+// accounting, per-node CPU/startup accounting and message dispatch.
+type Network struct {
+	K *sim.Kernel
+	M Mesh
+	P Params
+
+	links    []link
+	handlers [256]Handler
+
+	cpuFree   []sim.Time // per node: time the CPU becomes available
+	computeUS []float64  // per node: accumulated application compute time
+
+	// sends counts messages and payload bytes by message kind
+	// (diagnostics; local deliveries included).
+	sendMsgs  [256]uint64
+	sendBytes [256]uint64
+
+	inboxes []nodeInbox
+}
+
+// NewNetwork creates a network over mesh m using kernel k.
+func NewNetwork(k *sim.Kernel, m Mesh, p Params) *Network {
+	if p.BytesPerUS <= 0 {
+		panic("mesh: BytesPerUS must be positive")
+	}
+	nw := &Network{
+		K:         k,
+		M:         m,
+		P:         p,
+		links:     make([]link, m.NumLinks()),
+		cpuFree:   make([]sim.Time, m.N()),
+		computeUS: make([]float64, m.N()),
+		inboxes:   make([]nodeInbox, m.N()),
+	}
+	nw.handlers[KindInbox] = nw.deliverInbox
+	return nw
+}
+
+// Handle registers the handler for a message kind. Registering kind 0
+// (KindInbox) panics; it is reserved for process-level receives.
+func (nw *Network) Handle(kind uint8, h Handler) {
+	if kind == KindInbox {
+		panic("mesh: kind 0 is reserved for the inbox")
+	}
+	if nw.handlers[kind] != nil {
+		panic(fmt.Sprintf("mesh: handler for kind %d registered twice", kind))
+	}
+	nw.handlers[kind] = h
+}
+
+// Send routes m from m.Src to m.Dst, accounting startup cost on the source
+// CPU, link occupancy and congestion along the dimension-order path, and
+// receive overhead at the destination, then dispatches to the handler for
+// m.Kind. Send never blocks; it may be called from event or process
+// context. Use SendFrom when the sending process itself should be delayed
+// by the startup cost.
+func (nw *Network) Send(m *Msg) {
+	depart := nw.chargeSend(m.Src)
+	nw.deliverAfterRoute(m, depart)
+}
+
+// SendFrom is Send for application processes: the calling process is
+// blocked until its CPU has finished the send startup, modeling the
+// synchronous send call of the message-passing library.
+func (nw *Network) SendFrom(p *sim.Proc, m *Msg) {
+	depart := nw.chargeSend(m.Src)
+	nw.deliverAfterRoute(m, depart)
+	p.WaitUntil(depart)
+}
+
+// SendStats reports how many messages (and payload bytes) of each kind
+// were sent, including node-local deliveries.
+func (nw *Network) SendStats() (msgs, bytes [256]uint64) {
+	return nw.sendMsgs, nw.sendBytes
+}
+
+// chargeSend reserves the source CPU for the send startup and returns the
+// time the message leaves the node.
+func (nw *Network) chargeSend(src int) sim.Time {
+	t := nw.K.Now()
+	if nw.cpuFree[src] > t {
+		t = nw.cpuFree[src]
+	}
+	depart := t + nw.P.StartupSendUS
+	nw.cpuFree[src] = depart
+	return depart
+}
+
+// deliverAfterRoute routes m starting at depart and schedules the
+// destination handler after receive overhead.
+func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
+	nw.sendMsgs[m.Kind]++
+	nw.sendBytes[m.Kind] += uint64(m.Size)
+	arrive := nw.route(m, depart)
+	nw.K.At(arrive, func() {
+		t := nw.K.Now()
+		if nw.cpuFree[m.Dst] > t {
+			t = nw.cpuFree[m.Dst]
+		}
+		ready := t + nw.P.StartupRecvUS
+		nw.cpuFree[m.Dst] = ready
+		nw.K.At(ready, func() {
+			h := nw.handlers[m.Kind]
+			if h == nil {
+				panic(fmt.Sprintf("mesh: no handler for message kind %d", m.Kind))
+			}
+			h(m)
+		})
+	})
+}
+
+// route models wormhole transmission of m along the dimension-order path:
+// the head acquires each link no earlier than the link is free and the
+// tail arrives one message duration after the head clears the last link.
+// With backpressure (the default), every link of the path is held until
+// the tail has drained through the last link, so blocking propagates
+// upstream as in a real wormhole network; without it each link is held
+// for one message duration independently. Congestion counters are bumped
+// for every traversed link. Returns the arrival time at the destination.
+func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
+	if m.Src == m.Dst {
+		return depart + nw.P.LocalDeliveryUS
+	}
+	dur := float64(m.Size) / nw.P.BytesPerUS
+	t := depart
+	// Walk the dimension-order path without allocating (routing runs for
+	// every message; mesh paths are at most rows+cols links long).
+	var pathBuf [128]int
+	var startBuf [128]sim.Time
+	path := pathBuf[:0]
+	cur := nw.M.CoordOf(m.Src)
+	dst := nw.M.CoordOf(m.Dst)
+	for cur.Col != dst.Col {
+		d := East
+		if dst.Col < cur.Col {
+			d = West
+		}
+		path = append(path, nw.M.LinkID(nw.M.ID(cur), d))
+		cur = nw.M.CoordOf(nw.M.Neighbor(nw.M.ID(cur), d))
+	}
+	for cur.Row != dst.Row {
+		d := South
+		if dst.Row < cur.Row {
+			d = North
+		}
+		path = append(path, nw.M.LinkID(nw.M.ID(cur), d))
+		cur = nw.M.CoordOf(nw.M.Neighbor(nw.M.ID(cur), d))
+	}
+	starts := startBuf[:0]
+	for _, li := range path {
+		l := &nw.links[li]
+		s := t
+		if l.busyUntil > s {
+			s = l.busyUntil
+		}
+		starts = append(starts, s)
+		if nw.P.NoBackpressure {
+			l.busyUntil = s + dur
+		}
+		l.load.Msgs++
+		l.load.Bytes += uint64(m.Size)
+		t = s + nw.P.HopLatencyUS
+	}
+	arrive := t + dur
+	if !nw.P.NoBackpressure {
+		// Wormhole flit flow: link i is released when the tail flit has
+		// passed it, i.e. when the message has drained far enough
+		// downstream — max(own transmission end, drain time minus the
+		// pipeline slack to the last link). When nothing blocks, this is
+		// barely more than one message duration; when the head stalls
+		// downstream, upstream links stay held and congestion spreads
+		// toward the sender, as on the real machine.
+		for i, li := range path {
+			l := &nw.links[li]
+			release := arrive - float64(len(path)-1-i)*nw.P.HopLatencyUS
+			if own := starts[i] + dur; own > release {
+				release = own
+			}
+			if release > l.busyUntil {
+				l.busyUntil = release
+			}
+		}
+	}
+	return arrive
+}
+
+// Compute charges d microseconds of application computation to the process
+// p running on node; the process resumes when its CPU has executed it. The
+// time is also accumulated for the "local computation time" metric.
+func (nw *Network) Compute(p *sim.Proc, node int, d float64) {
+	if d <= 0 {
+		return
+	}
+	t := nw.K.Now()
+	if nw.cpuFree[node] > t {
+		t = nw.cpuFree[node]
+	}
+	end := t + d
+	nw.cpuFree[node] = end
+	nw.computeUS[node] += d
+	p.WaitUntil(end)
+}
+
+// ChargeCPU charges d microseconds of protocol bookkeeping on node without
+// blocking anyone and without counting it as application compute.
+func (nw *Network) ChargeCPU(node int, d float64) {
+	t := nw.K.Now()
+	if nw.cpuFree[node] > t {
+		t = nw.cpuFree[node]
+	}
+	nw.cpuFree[node] = t + d
+}
+
+// ComputeTime returns the accumulated application compute time per node.
+func (nw *Network) ComputeTime() []float64 {
+	out := make([]float64, len(nw.computeUS))
+	copy(out, nw.computeUS)
+	return out
+}
+
+// Loads returns a copy of the per-link traffic counters, indexed by LinkID.
+func (nw *Network) Loads() []LinkLoad {
+	out := make([]LinkLoad, len(nw.links))
+	for i := range nw.links {
+		out[i] = nw.links[i].load
+	}
+	return out
+}
+
+// Congestion summarizes traffic accumulated since snapshot before (pass nil
+// for "since the beginning"): the maximum and total message count and byte
+// count over all directed links.
+func (nw *Network) Congestion(before []LinkLoad) (c Congestion) {
+	for i := range nw.links {
+		l := nw.links[i].load
+		if before != nil {
+			l.Msgs -= before[i].Msgs
+			l.Bytes -= before[i].Bytes
+		}
+		if l.Msgs > c.MaxMsgs {
+			c.MaxMsgs = l.Msgs
+		}
+		if l.Bytes > c.MaxBytes {
+			c.MaxBytes = l.Bytes
+		}
+		c.TotalMsgs += l.Msgs
+		c.TotalBytes += l.Bytes
+	}
+	return c
+}
+
+// Congestion is a summary of link traffic. MaxBytes over a run is the
+// paper's congestion measure (weighted with the inverse bandwidth, which is
+// uniform here); MaxMsgs is the measure used for the Barnes-Hut figures.
+type Congestion struct {
+	MaxMsgs    uint64
+	MaxBytes   uint64
+	TotalMsgs  uint64
+	TotalBytes uint64
+}
+
+// KindInbox is the reserved message kind delivered to per-node inboxes and
+// received with Recv (used by the hand-optimized message passing programs).
+const KindInbox uint8 = 0

@@ -1,0 +1,111 @@
+package sim
+
+// Future is a one-shot value that processes can block on. Complete may be
+// called from event or process context; Await must be called from process
+// context. A Future may have any number of waiters; all are woken when the
+// value arrives. The zero value is ready for use.
+type Future struct {
+	done    bool
+	val     interface{}
+	waiters []*Proc
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture() *Future { return &Future{} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Value returns the completed value (nil if not complete).
+func (f *Future) Value() interface{} { return f.val }
+
+// Complete resolves the future and wakes all waiters (in arrival order, at
+// the current simulation time). Completing twice panics: it always
+// indicates a protocol bug.
+func (f *Future) Complete(k *Kernel, val interface{}) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val = val
+	for _, p := range f.waiters {
+		proc := p
+		k.At(k.now, func() { k.runProc(proc) })
+	}
+	f.waiters = nil
+}
+
+// Await blocks the calling process until the future completes and returns
+// its value. If the future is already complete it returns immediately.
+func (f *Future) Await(p *Proc) interface{} {
+	if f.done {
+		return f.val
+	}
+	f.waiters = append(f.waiters, p)
+	p.park()
+	return f.val
+}
+
+// WaitGroup counts outstanding operations; processes can block until the
+// count reaches zero. Unlike sync.WaitGroup this is simulation-time aware
+// and single-threaded.
+type WaitGroup struct {
+	n      int
+	waiter *Future
+}
+
+// Add increments the counter by delta.
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+
+// DoneOne decrements the counter; at zero, wakes the waiter (if any).
+func (w *WaitGroup) DoneOne(k *Kernel) {
+	w.n--
+	if w.n < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.n == 0 && w.waiter != nil {
+		f := w.waiter
+		w.waiter = nil
+		f.Complete(k, nil)
+	}
+}
+
+// Wait blocks the process until the counter is zero. Only a single process
+// may wait on a WaitGroup at a time.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("sim: WaitGroup already has a waiter")
+	}
+	w.waiter = NewFuture()
+	w.waiter.Await(p)
+}
+
+// Queue is a FIFO of processes blocked waiting for a resource. It underpins
+// the per-variable transaction serialization and home-based locks.
+type Queue struct {
+	futs []*Future
+}
+
+// Enqueue appends a new future to the queue and returns it.
+func (q *Queue) Enqueue() *Future {
+	f := NewFuture()
+	q.futs = append(q.futs, f)
+	return f
+}
+
+// Len returns the number of queued waiters.
+func (q *Queue) Len() int { return len(q.futs) }
+
+// WakeFront completes the first queued future, if any.
+func (q *Queue) WakeFront(k *Kernel) bool {
+	if len(q.futs) == 0 {
+		return false
+	}
+	f := q.futs[0]
+	q.futs = q.futs[1:]
+	f.Complete(k, nil)
+	return true
+}

@@ -1,0 +1,155 @@
+// Package sim implements a deterministic, sequential discrete-event
+// simulation kernel with cooperative processes.
+//
+// The kernel advances virtual time by executing events from a priority
+// queue. Exactly one thing runs at a time: either an event callback or one
+// process goroutine. Processes hand control back to the kernel whenever they
+// block (Wait, Await, ...), so all executions are serialized and the whole
+// simulation is reproducible — same inputs, same event order, same results.
+//
+// Two execution contexts exist:
+//
+//   - Event context: callbacks scheduled with At/After run inline in the
+//     kernel loop. They must not block. Protocol handlers (message
+//     deliveries) run in this context.
+//   - Process context: goroutines spawned with Spawn. They may block on
+//     futures and timed waits. Application programs (one per simulated
+//     processor) run in this context.
+//
+// Time is measured in microseconds (float64); ties are broken by schedule
+// order, which makes runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Time is simulated time in microseconds.
+type Time = float64
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. The zero value is not usable; construct
+// with New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	procs   []*Proc
+	parked  chan struct{} // signaled by a proc when it hands control back
+	stopped bool
+}
+
+// New returns an empty kernel at time 0.
+func New() *Kernel {
+	return &Kernel{parked: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in event context at absolute time t. Scheduling in
+// the past panics: it would make time run backwards.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.pq, event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in event context after delay d (d >= 0).
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns an error if, at the end, some processes are still blocked — that
+// indicates a deadlock (or a forgotten wake-up) in the simulated system.
+//
+// The simulation is strictly sequential: exactly one goroutine (the kernel
+// or one process) runs at any time. Running on a single P makes the
+// kernel/process handoffs cheap scheduler switches instead of cross-core
+// futex wake-ups (~2x end-to-end), so Run pins GOMAXPROCS to 1 for its
+// duration and restores it afterwards.
+func (k *Kernel) Run() error {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	for len(k.pq) > 0 && !k.stopped {
+		e := heap.Pop(&k.pq).(event)
+		k.now = e.t
+		e.fn()
+	}
+	var blocked []string
+	for _, p := range k.procs {
+		if !p.done {
+			blocked = append(blocked, p.name)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		k.killAll()
+		return &DeadlockError{Blocked: blocked, At: k.now}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Remaining
+// processes are not killed; call Shutdown for that.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Shutdown force-terminates all live processes. It is safe to call after
+// Run has returned; used by tests to avoid goroutine leaks.
+func (k *Kernel) Shutdown() { k.killAll() }
+
+func (k *Kernel) killAll() {
+	for _, p := range k.procs {
+		if !p.done {
+			p.kill()
+		}
+	}
+}
+
+// DeadlockError reports processes that never completed.
+type DeadlockError struct {
+	Blocked []string
+	At      Time
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v, blocked processes: %v", e.At, e.Blocked)
+}
+
+// runProc transfers control to p and waits until p parks again.
+func (k *Kernel) runProc(p *Proc) {
+	p.resume <- procSignal{}
+	<-k.parked
+}

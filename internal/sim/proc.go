@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// procSignal is the token handed to a process when it may run. kill makes
+// the process unwind instead of resuming.
+type procSignal struct {
+	kill bool
+}
+
+// killed is the panic value used to unwind force-terminated processes.
+type killed struct{}
+
+// Proc is a cooperative simulated process. A Proc runs on its own
+// goroutine, but the kernel guarantees that at most one process (or event
+// callback) executes at a time, so process code needs no locking against
+// other simulated activity.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan procSignal
+	done   bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process executing body. The process starts (in FIFO order
+// with other events) at the current simulation time.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan procSignal)}
+	k.procs = append(k.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); ok {
+					return // force-terminated by the kernel; swallow
+				}
+				panic(r) // real bug: re-raise
+			}
+		}()
+		sig := <-p.resume // wait for first scheduling
+		if sig.kill {
+			panic(killed{})
+		}
+		body(p)
+		p.done = true
+		k.parked <- struct{}{} // final hand-back
+	}()
+	k.At(k.now, func() { k.runProc(p) })
+	return p
+}
+
+// park hands control back to the kernel and blocks until resumed.
+// Must only be called from process context.
+func (p *Proc) park() {
+	p.k.parked <- struct{}{}
+	sig := <-p.resume
+	if sig.kill {
+		panic(killed{})
+	}
+}
+
+// kill unblocks a parked process with the kill flag so it unwinds.
+// Must be called from kernel context while the process is parked.
+func (p *Proc) kill() {
+	if p.done {
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		p.resume <- procSignal{kill: true}
+		close(done)
+	}()
+	// The killed process will either re-park (it won't: panic(killed) skips
+	// the park path) or finish unwinding. Wait for the handshake to land.
+	<-done
+	p.done = true
+}
+
+// Wait suspends the process for d microseconds of simulated time.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic("sim: negative wait")
+	}
+	if d == 0 {
+		return
+	}
+	p.k.After(d, func() { p.k.runProc(p) })
+	p.park()
+}
+
+// WaitUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.At(t, func() { p.k.runProc(p) })
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// events. Useful to let pending deliveries run.
+func (p *Proc) Yield() {
+	p.k.At(p.k.now, func() { p.k.runProc(p) })
+	p.park()
+}
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

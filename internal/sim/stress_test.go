@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diva/internal/xrand"
+)
+
+// TestHeavyEventChurn pushes many interleaved events and timers through
+// the kernel and verifies global time ordering.
+func TestHeavyEventChurn(t *testing.T) {
+	k := New()
+	rng := xrand.New(42)
+	var last Time
+	ordered := true
+	n := 0
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Intn(100000))
+		k.At(at, func() {
+			if k.Now() < last {
+				ordered = false
+			}
+			last = k.Now()
+			n++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ordered {
+		t.Fatal("events executed out of time order")
+	}
+	if n != 5000 {
+		t.Fatalf("%d events executed, want 5000", n)
+	}
+}
+
+// TestEventsScheduledFromEvents: cascading schedules keep ordering.
+func TestEventsScheduledFromEvents(t *testing.T) {
+	k := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.After(1, recurse)
+		}
+	}
+	k.At(0, recurse)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 100 || k.Now() != 99 {
+		t.Fatalf("depth %d at time %v", depth, k.Now())
+	}
+}
+
+// TestProcsAndEventsInterleaved: processes waiting amid a storm of events.
+func TestProcsAndEventsInterleaved(t *testing.T) {
+	k := New()
+	events := 0
+	for i := 0; i < 500; i++ {
+		k.At(Time(i*3), func() { events++ })
+	}
+	woke := 0
+	for i := 0; i < 50; i++ {
+		d := Time(i * 17 % 1400)
+		k.Spawn("p", func(p *Proc) {
+			p.Wait(d)
+			woke++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if events != 500 || woke != 50 {
+		t.Fatalf("events=%d woke=%d", events, woke)
+	}
+}
+
+// TestFutureChains: processes waking each other through futures.
+func TestFutureChains(t *testing.T) {
+	k := New()
+	const n = 64
+	futs := make([]*Future, n+1)
+	for i := range futs {
+		futs[i] = NewFuture()
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("link", func(p *Proc) {
+			futs[i].Await(p)
+			p.Wait(10)
+			futs[i+1].Complete(k, i+1)
+		})
+	}
+	k.At(5, func() { futs[0].Complete(k, 0) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := futs[n].Value(); got != n {
+		t.Fatalf("chain value %v, want %d", got, n)
+	}
+	if k.Now() != 5+10*n {
+		t.Fatalf("chain finished at %v, want %v", k.Now(), 5+10*n)
+	}
+}
+
+// TestDeterministicUnderRandomLoad: identical seeds give identical
+// trajectories, via quick-checked seeds.
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	trajectory := func(seed uint64) (Time, int) {
+		k := New()
+		rng := xrand.New(seed)
+		sum := 0
+		for i := 0; i < 60; i++ {
+			delay := Time(rng.Intn(500))
+			k.Spawn("p", func(p *Proc) {
+				p.Wait(delay)
+				sum += int(p.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now(), sum
+	}
+	check := func(seed uint64) bool {
+		t1, s1 := trajectory(seed)
+		t2, s2 := trajectory(seed)
+		return t1 == t2 && s1 == s2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockReportsAllBlocked: every stuck process appears in the error.
+func TestDeadlockReportsAllBlocked(t *testing.T) {
+	k := New()
+	f := NewFuture()
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Spawn(name, func(p *Proc) { f.Await(p) })
+	}
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	if len(de.Blocked) != 3 {
+		t.Fatalf("blocked = %v, want 3 processes", de.Blocked)
+	}
+	if de.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// TestKernelReusableAfterRun: more events can be scheduled and run again.
+func TestKernelReusableAfterRun(t *testing.T) {
+	k := New()
+	ran := 0
+	k.At(10, func() { ran++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.At(20, func() { ran++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 || k.Now() != 20 {
+		t.Fatalf("ran=%d now=%v", ran, k.Now())
+	}
+}
+
+// TestNegativeWaitPanics and friends: API misuse is loud.
+func TestNegativeWaitPanics(t *testing.T) {
+	k := New()
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Wait did not panic")
+			}
+		}()
+		p.Wait(-1)
+	})
+	_ = k.Run()
+	k.Shutdown()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	k := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	k.After(-5, func() {})
+}
+
+func TestWaitGroupUnderflowPanics(t *testing.T) {
+	k := New()
+	var wg WaitGroup
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WaitGroup underflow did not panic")
+		}
+	}()
+	wg.DoneOne(k)
+}
+
+func TestProcString(t *testing.T) {
+	k := New()
+	p := k.Spawn("zed", func(p *Proc) {})
+	if p.String() != "proc(zed)" || p.Name() != "zed" {
+		t.Fatalf("String=%q Name=%q", p.String(), p.Name())
+	}
+	if p.Kernel() != k {
+		t.Fatal("Kernel() mismatch")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,6 @@
+package xrand
+
+import "math"
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+func mathLog(x float64) float64  { return math.Log(x) }
