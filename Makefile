@@ -1,0 +1,26 @@
+GO ?= go
+DATE := $(shell date +%Y-%m-%d)
+
+.PHONY: all build test vet fmt bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# bench runs every figure benchmark once and records ns/op plus all
+# reported simulated-result metrics as BENCH_<date>.json, keeping the perf
+# trajectory machine-readable across PRs (see PERF.md).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkFig -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
+	@echo wrote BENCH_$(DATE).json

@@ -21,6 +21,7 @@ import (
 	"diva/internal/decomp"
 	"diva/internal/mesh"
 	"diva/internal/metrics"
+	"diva/internal/sim"
 )
 
 func machine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
@@ -220,6 +221,52 @@ func benchBackpressure(b *testing.B, off bool) {
 
 func BenchmarkAblationBackpressureOn(b *testing.B)  { benchBackpressure(b, false) }
 func BenchmarkAblationBackpressureOff(b *testing.B) { benchBackpressure(b, true) }
+
+// --- Simulator micro-benchmarks (the event hot path itself) ---
+
+// BenchmarkKernelEventChurn measures raw event-queue throughput: one
+// schedule + pop + dispatch per iteration through the 4-ary heap. The
+// closure is long-lived, so the steady state allocates nothing.
+func BenchmarkKernelEventChurn(b *testing.B) {
+	k := sim.New()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(1, fn)
+		}
+	}
+	k.At(0, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMessageDelivery measures a full pooled send-route-deliver cycle
+// between two corner nodes of a 4x4 mesh: routing, both delivery stages
+// and the handler dispatch, with the Msg recycled through the free list —
+// zero allocations per message in steady state.
+func BenchmarkMessageDelivery(b *testing.B) {
+	k := sim.New()
+	nw := mesh.NewNetwork(k, mesh.New(4, 4), mesh.GCelParams())
+	n := 0
+	const kind = 7
+	nw.Handle(kind, func(m *mesh.Msg) {
+		n++
+		if n < b.N {
+			nw.SendPooled(m.Dst, m.Src, 64, kind, nil)
+		}
+	})
+	nw.SendPooled(0, 15, 64, kind, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // --- Protocol micro-benchmarks ---
 

@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document mapping benchmark name to ns/op, allocation counters and every
+// reported simulated-result metric. `make bench` uses it to emit
+// BENCH_<date>.json, so the perf trajectory of the simulator — and the
+// simulated experiment outcomes riding along as b.ReportMetric values —
+// stay machine-readable across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkFig -benchmem . | benchjson > BENCH_2026-07-26.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line, decoded.
+type result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix (e.g. "BenchmarkFoo-8") without
+		// touching digits that belong to the benchmark name itself.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		out[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -11,4 +11,15 @@
 // EXPERIMENTS.md for the paper-vs-measured record. The library lives under
 // internal/: start with internal/core (the DIVA API) and
 // internal/core/accesstree (the paper's contribution).
+//
+// The simulator's hot path is allocation-free by design (see PERF.md for
+// the profile-driven rationale and the baseline-vs-after numbers): the
+// event kernel is a hand-rolled 4-ary min-heap over unboxed tagged-union
+// events (proc wakeup / typed callback / closure fallback), message
+// delivery recycles Msg objects through a free list and schedules typed
+// events instead of closures, and the access tree keeps its per-variable
+// protocol state in dense slice-indexed node tables. Determinism is
+// load-bearing — identical seeds must give identical event orders and
+// metrics — and is pinned by golden regression tests (determinism_test.go)
+// via the kernel's event-order fingerprint.
 package diva

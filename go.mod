@@ -1,0 +1,3 @@
+module diva
+
+go 1.24

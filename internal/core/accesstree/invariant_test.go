@@ -29,7 +29,7 @@ func members(s *strategy, v *core.Variable) map[int]bool {
 	vs := vstate(v)
 	set := make(map[int]bool)
 	for id := range s.t.Nodes {
-		if s.node(vs, v, id).member {
+		if vs.nodes[id].member {
 			set[id] = true
 		}
 	}
@@ -80,7 +80,7 @@ func checkInvariants(t *testing.T, m *core.Machine, v *core.Variable, want inter
 			if steps > len(s.t.Nodes) {
 				t.Fatalf("pointer chain from node %d does not terminate", id)
 			}
-			st := s.node(vs, v, cur)
+			st := vs.nodes[cur]
 			if st.member {
 				break
 			}
@@ -100,7 +100,7 @@ func checkInvariants(t *testing.T, m *core.Machine, v *core.Variable, want inter
 
 	// 3. Edge bits: symmetric, only between members, spanning the component.
 	for id := range set {
-		st := s.node(vs, v, id)
+		st := vs.nodes[id]
 		n := &s.t.Nodes[id]
 		if st.edges&parentBit != 0 {
 			if n.Parent == -1 {
@@ -109,7 +109,7 @@ func checkInvariants(t *testing.T, m *core.Machine, v *core.Variable, want inter
 			if !set[n.Parent] {
 				t.Fatalf("edge bit from %d to non-member parent", id)
 			}
-			pst := s.node(vs, v, n.Parent)
+			pst := vs.nodes[n.Parent]
 			if pst.edges&childBit(n.ChildIndex) == 0 {
 				t.Fatalf("asymmetric edge bits between %d and parent %d", id, n.Parent)
 			}
@@ -119,7 +119,7 @@ func checkInvariants(t *testing.T, m *core.Machine, v *core.Variable, want inter
 				if !set[c] {
 					t.Fatalf("edge bit from %d to non-member child %d", id, c)
 				}
-				cst := s.node(vs, v, c)
+				cst := vs.nodes[c]
 				if cst.edges&parentBit == 0 {
 					t.Fatalf("asymmetric edge bits between %d and child %d", id, c)
 				}
@@ -132,7 +132,7 @@ func checkInvariants(t *testing.T, m *core.Machine, v *core.Variable, want inter
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		st := s.node(vs, v, cur)
+		st := vs.nodes[cur]
 		n := &s.t.Nodes[cur]
 		if st.edges&parentBit != 0 && !visited[n.Parent] {
 			visited[n.Parent] = true

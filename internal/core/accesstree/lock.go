@@ -105,11 +105,8 @@ func (s *strategy) sendLockHop(v *Variable, ls *lockState, cur int, a int32, fro
 	} else {
 		next = s.t.Nodes[cur].Children[a]
 	}
-	s.m.Net.Send(&mesh.Msg{
-		Src: s.procOf(vs, cur), Dst: s.procOf(vs, next),
-		Size: core.LockBytes, Kind: kindLockReq,
-		Payload: &lockReqMsg{v: v, node: next, from: cur, origin: origin},
-	})
+	s.m.Net.SendPooled(s.procOf(vs, cur), s.procOf(vs, next), core.LockBytes,
+		kindLockReq, &lockReqMsg{v: v, node: next, from: cur, origin: origin})
 }
 
 // onLockReq performs one path-reversal step.
@@ -141,11 +138,8 @@ func (s *strategy) passToken(v *Variable, ls *lockState, cur int) {
 	ls.tokenFree = false
 	ls.inFlight = true
 	vs := vstate(v)
-	s.m.Net.Send(&mesh.Msg{
-		Src: s.procOf(vs, cur), Dst: s.procOf(vs, to),
-		Size: core.LockBytes, Kind: kindLockToken,
-		Payload: &lockTokenMsg{v: v, to: to},
-	})
+	s.m.Net.SendPooled(s.procOf(vs, cur), s.procOf(vs, to), core.LockBytes,
+		kindLockToken, &lockTokenMsg{v: v, to: to})
 }
 
 // onLockToken delivers the token: the waiting process now holds the lock.

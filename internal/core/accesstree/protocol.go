@@ -11,7 +11,9 @@ import (
 // reqMsg travels along the access tree. path records the visited tree
 // nodes; path[0] is the requester's leaf and the last element the node the
 // message is arriving at. The same payload object is threaded through all
-// hops of one transaction (the simulation equivalent of the message body).
+// hops of one transaction (the simulation equivalent of the message body);
+// it is recycled onto the strategy's free list — together with its path
+// buffer and future — when the transaction completes.
 type reqMsg struct {
 	v     *Variable
 	write bool
@@ -20,32 +22,26 @@ type reqMsg struct {
 	fut   *sim.Future
 }
 
-// dataMsg carries a copy back along the reversed request path. idx is the
-// index in req.path the message is arriving at.
-type dataMsg struct {
-	req *reqMsg
-	idx int
-}
+// The smaller protocol messages carry no struct payload at all: the
+// variable rides in Msg.Payload and the (small, dense) tree-node ids are
+// packed into Msg.Tag, so every hop of the data-return, invalidation, ack
+// and evict flows is allocation-free.
+//
+//   - data hop (kindRead/WriteData): Payload = *reqMsg, Tag = path index
+//     the message arrives at;
+//   - invalidation: Payload = *Variable, Tag = pack(receiving node, node
+//     the invalidation came from);
+//   - ack: Payload = *Variable, Tag = receiving node;
+//   - evict note: Payload = *Variable, Tag = pack(receiving node, evicted
+//     node).
+//
+// tagShift bounds the packable tree size to 2^21 nodes per field (beyond a
+// 1024x1024 binary-decomposed mesh); newStrategy rejects larger trees up
+// front rather than letting packTag silently corrupt ids.
+const tagShift = 21
 
-// invalMsg propagates the invalidation multicast.
-type invalMsg struct {
-	v    *Variable
-	node int // receiving tree node
-	from int // tree node the invalidation came from
-}
-
-// ackMsg acknowledges a completed invalidation subtree.
-type ackMsg struct {
-	v    *Variable
-	node int // receiving tree node (the one waiting for acks)
-}
-
-// evictMsg tells a component neighbor that a copy was replaced.
-type evictMsg struct {
-	v    *Variable
-	node int // receiving tree node
-	gone int // evicted tree node
-}
+func packTag(a, b int) int       { return a<<tagShift | b }
+func unpackTag(t int) (a, b int) { return t >> tagShift, t & (1<<tagShift - 1) }
 
 // Read implements core.Strategy. The caller holds the shared transaction
 // slot, so pointer states can only be extended (by concurrent readers)
@@ -53,13 +49,43 @@ type evictMsg struct {
 func (s *strategy) Read(p *core.Proc, v *Variable) interface{} {
 	vs := vstate(v)
 	leaf := s.t.LeafOfProc[p.ID]
-	if st := s.node(vs, v, leaf); st.member {
+	if vs.nodes[leaf].member {
 		s.m.Cache(p.ID).Touch(atKey{v.ID, leaf})
 		return v.Data
 	}
-	req := &reqMsg{v: v, path: []int{leaf}, fut: sim.NewFuture()}
+	req := s.acquireReq(v, leaf)
 	s.forward(req)
-	return req.fut.Await(p.Proc)
+	val := req.fut.Await(p.Proc)
+	s.releaseReq(req)
+	return val
+}
+
+// acquireReq returns a fresh transaction record with path = [leaf], reusing
+// a recycled one when available. The path buffer has room for the longest
+// possible pointer chain (a full tree path: up to the root and down to a
+// leaf) so the per-hop appends never reallocate.
+func (s *strategy) acquireReq(v *Variable, leaf int) *reqMsg {
+	if n := len(s.reqFree); n > 0 {
+		req := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		req.v = v
+		req.path = append(req.path[:0], leaf)
+		*req.fut = sim.Future{}
+		return req
+	}
+	path := make([]int, 1, 2*s.t.MaxDepth+1)
+	path[0] = leaf
+	return &reqMsg{v: v, path: path, fut: sim.NewFuture()}
+}
+
+// releaseReq recycles a completed transaction record. Safe only after the
+// requester's Await returned: at that point no message or event references
+// req anymore.
+func (s *strategy) releaseReq(req *reqMsg) {
+	req.v = nil
+	req.write = false
+	req.val = nil
+	s.reqFree = append(s.reqFree, req)
 }
 
 // Write implements core.Strategy. The caller holds the exclusive slot: no
@@ -68,25 +94,26 @@ func (s *strategy) Write(p *core.Proc, v *Variable, val interface{}) {
 	vs := vstate(v)
 	s.maybeRemap(vs, v)
 	leaf := s.t.LeafOfProc[p.ID]
-	st := s.node(vs, v, leaf)
+	st := vs.nodes[leaf]
 	if st.member && st.edges == 0 {
 		// Sole copy: a purely local write.
 		v.Data = val
 		s.m.Cache(p.ID).Touch(atKey{v.ID, leaf})
 		return
 	}
-	fut := sim.NewFuture()
+	req := s.acquireReq(v, leaf)
+	req.write = true
+	req.val = val
 	if st.member {
 		// The writer holds a copy (the common case: every write in the
 		// paper's applications is preceded by a read): it is itself the
 		// nearest member; invalidate everyone else directly.
-		req := &reqMsg{v: v, write: true, path: []int{leaf}, val: val, fut: fut}
 		s.serveWrite(req)
 	} else {
-		req := &reqMsg{v: v, write: true, path: []int{leaf}, val: val, fut: fut}
 		s.forward(req)
 	}
-	fut.Await(p.Proc)
+	req.fut.Await(p.Proc)
+	s.releaseReq(req)
 }
 
 // forward sends req one hop further along the pointer chain. Called at the
@@ -94,9 +121,9 @@ func (s *strategy) Write(p *core.Proc, v *Variable, val interface{}) {
 func (s *strategy) forward(req *reqMsg) {
 	vs := vstate(req.v)
 	cur := req.path[len(req.path)-1]
-	st := s.node(vs, req.v, cur)
+	toward := vs.nodes[cur].toward
 	var next int
-	switch st.toward {
+	switch toward {
 	case towardUp:
 		next = s.t.Nodes[cur].Parent
 		if next == -1 {
@@ -105,17 +132,14 @@ func (s *strategy) forward(req *reqMsg) {
 	case towardSelf:
 		panic("accesstree: forwarding at a member node")
 	default:
-		next = s.t.Nodes[cur].Children[st.toward]
+		next = s.t.Nodes[cur].Children[toward]
 	}
 	req.path = append(req.path, next)
 	kind, size := kindReadReq, core.ReadReqBytes
 	if req.write {
 		kind, size = kindWriteReq, core.DataBytes(req.v.Size)
 	}
-	s.m.Net.Send(&mesh.Msg{
-		Src: s.procOf(vs, cur), Dst: s.procOf(vs, next),
-		Size: size, Kind: kind, Payload: req,
-	})
+	s.m.Net.SendPooled(s.procOf(vs, cur), s.procOf(vs, next), size, kind, req)
 }
 
 // onReq handles a request hop arriving at req.path's last node: serve if it
@@ -125,8 +149,7 @@ func (s *strategy) onReq(m *mesh.Msg) {
 	vs := vstate(req.v)
 	cur := req.path[len(req.path)-1]
 	s.countAccess(vs, cur)
-	st := s.node(vs, req.v, cur)
-	if !st.member {
+	if !vs.nodes[cur].member {
 		s.forward(req)
 		return
 	}
@@ -164,8 +187,17 @@ func (s *strategy) serveWrite(req *reqMsg) {
 		done()
 		return
 	}
-	vs.pending[u] = &invalWait{n: bits.OnesCount32(edges), ackNode: -1, done: done}
+	s.addPending(vs, u, &invalWait{n: bits.OnesCount32(edges), ackNode: -1, done: done})
 	s.multicastInval(vs, req.v, u, edges)
+}
+
+// addPending records an outstanding invalidation wait, creating the lazily
+// allocated table on first use.
+func (s *strategy) addPending(vs *varState, node int, w *invalWait) {
+	if vs.pending == nil {
+		vs.pending = make(map[int]*invalWait)
+	}
+	vs.pending[node] = w
 }
 
 // multicastInval sends invalidations from node u along the member edges.
@@ -183,48 +215,44 @@ func (s *strategy) multicastInval(vs *varState, v *Variable, u int, edges uint32
 }
 
 func (s *strategy) sendInval(vs *varState, v *Variable, srcProc, to, from int) {
-	s.m.Net.Send(&mesh.Msg{
-		Src: srcProc, Dst: s.procOf(vs, to),
-		Size: core.InvalBytes, Kind: kindInval,
-		Payload: &invalMsg{v: v, node: to, from: from},
-	})
+	s.m.Net.SendPooledTag(srcProc, s.procOf(vs, to), core.InvalBytes, kindInval,
+		packTag(to, from), v)
 }
 
 // onInval invalidates the copy at the receiving node and forwards the
 // multicast into the rest of the component.
 func (s *strategy) onInval(m *mesh.Msg) {
-	im := m.Payload.(*invalMsg)
-	vs := vstate(im.v)
-	st := s.nodePtr(vs, im.node)
+	v := m.Payload.(*Variable)
+	node, from := unpackTag(m.Tag)
+	vs := vstate(v)
+	st := s.nodePtr(vs, node)
 	if !st.member {
 		panic("accesstree: invalidation reached a non-member")
 	}
-	forward := st.edges &^ s.edgeBit(im.node, im.from)
+	forward := st.edges &^ s.edgeBit(node, from)
 	st.member = false
-	st.toward = s.dirTo(im.node, im.from)
+	st.toward = s.dirTo(node, from)
 	st.edges = 0
-	s.m.Cache(s.procOf(vs, im.node)).Remove(atKey{im.v.ID, im.node})
+	s.m.Cache(s.procOf(vs, node)).Remove(atKey{v.ID, node})
 	if forward == 0 {
-		s.sendAck(vs, im.v, im.node, im.from)
+		s.sendAck(vs, v, node, from)
 		return
 	}
-	vs.pending[im.node] = &invalWait{n: bits.OnesCount32(forward), ackNode: im.from}
-	s.multicastInval(vs, im.v, im.node, forward)
+	s.addPending(vs, node, &invalWait{n: bits.OnesCount32(forward), ackNode: from})
+	s.multicastInval(vs, v, node, forward)
 }
 
 func (s *strategy) sendAck(vs *varState, v *Variable, from, to int) {
-	s.m.Net.Send(&mesh.Msg{
-		Src: s.procOf(vs, from), Dst: s.procOf(vs, to),
-		Size: core.AckBytes, Kind: kindAck,
-		Payload: &ackMsg{v: v, node: to},
-	})
+	s.m.Net.SendPooledTag(s.procOf(vs, from), s.procOf(vs, to), core.AckBytes,
+		kindAck, to, v)
 }
 
 // onAck aggregates acknowledgments back toward the multicast root.
 func (s *strategy) onAck(m *mesh.Msg) {
-	am := m.Payload.(*ackMsg)
-	vs := vstate(am.v)
-	w := vs.pending[am.node]
+	v := m.Payload.(*Variable)
+	node := m.Tag
+	vs := vstate(v)
+	w := vs.pending[node]
 	if w == nil {
 		panic("accesstree: stray invalidation ack")
 	}
@@ -232,9 +260,9 @@ func (s *strategy) onAck(m *mesh.Msg) {
 	if w.n > 0 {
 		return
 	}
-	delete(vs.pending, am.node)
+	delete(vs.pending, node)
 	if w.ackNode >= 0 {
-		s.sendAck(vs, am.v, am.node, w.ackNode)
+		s.sendAck(vs, v, node, w.ackNode)
 		return
 	}
 	w.done()
@@ -252,27 +280,24 @@ func (s *strategy) sendData(req *reqMsg, idx int) {
 	if req.write {
 		kind = kindWriteData
 	}
-	s.m.Net.Send(&mesh.Msg{
-		Src: s.procOf(vs, from), Dst: s.procOf(vs, to),
-		Size: core.DataBytes(req.v.Size), Kind: kind,
-		Payload: &dataMsg{req: req, idx: idx - 1},
-	})
+	s.m.Net.SendPooledTag(s.procOf(vs, from), s.procOf(vs, to),
+		core.DataBytes(req.v.Size), kind, idx-1, req)
 }
 
 // onData installs a copy at the receiving path node and forwards the copy
 // toward the requester; at the requester's leaf the transaction completes.
 func (s *strategy) onData(m *mesh.Msg) {
-	dm := m.Payload.(*dataMsg)
-	req := dm.req
+	req := m.Payload.(*reqMsg)
+	idx := m.Tag
 	vs := vstate(req.v)
-	cur := req.path[dm.idx]
+	cur := req.path[idx]
 	s.countAccess(vs, cur)
 	st := s.nodePtr(vs, cur)
 	st.member = true
 	st.toward = towardSelf
-	st.edges |= s.edgeBit(cur, req.path[dm.idx+1])
+	st.edges |= s.edgeBit(cur, req.path[idx+1])
 	s.cacheInsert(vs, req.v, cur, m.Dst)
-	if dm.idx == 0 {
+	if idx == 0 {
 		if req.write {
 			req.fut.Complete(s.m.K, req.val)
 		} else {
@@ -280,7 +305,7 @@ func (s *strategy) onData(m *mesh.Msg) {
 		}
 		return
 	}
-	s.sendData(req, dm.idx)
+	s.sendData(req, idx)
 }
 
 // countAccess bumps the remapping counter of a node (only when remapping
@@ -344,8 +369,8 @@ func (s *strategy) tryEvict(v *Variable, node, proc int) bool {
 		return false
 	}
 	vs := vstate(v)
-	st, ok := vs.nodes[node]
-	if !ok || !st.member {
+	st := &vs.nodes[node]
+	if !st.member {
 		return false
 	}
 	if bits.OnesCount32(st.edges) != 1 {
@@ -362,11 +387,8 @@ func (s *strategy) tryEvict(v *Variable, node, proc int) bool {
 	// the handshake's effect and charge its message below).
 	s.nodePtr(vs, nb).edges &^= s.edgeBit(nb, node)
 	s.m.Cache(proc).Remove(atKey{v.ID, node})
-	s.m.Net.Send(&mesh.Msg{
-		Src: proc, Dst: s.procOf(vs, nb),
-		Size: core.AckBytes, Kind: kindEvict,
-		Payload: &evictMsg{v: v, node: nb, gone: node},
-	})
+	s.m.Net.SendPooledTag(proc, s.procOf(vs, nb), core.AckBytes, kindEvict,
+		packTag(nb, node), v)
 	return true
 }
 
@@ -381,12 +403,11 @@ func (s *strategy) edgeNeighbor(node int, edges uint32) int {
 
 // onEvict clears the component edge toward a replaced copy.
 func (s *strategy) onEvict(m *mesh.Msg) {
-	em := m.Payload.(*evictMsg)
-	if em.v.State == nil {
+	v := m.Payload.(*Variable)
+	if v.State == nil {
 		return // variable freed while the notification was in flight
 	}
-	vs := vstate(em.v)
-	if st, ok := vs.nodes[em.node]; ok {
-		st.edges &^= s.edgeBit(em.node, em.gone)
-	}
+	node, gone := unpackTag(m.Tag)
+	vs := vstate(v)
+	vs.nodes[node].edges &^= s.edgeBit(node, gone)
 }

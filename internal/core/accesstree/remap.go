@@ -1,8 +1,6 @@
 package accesstree
 
 import (
-	"sort"
-
 	"diva/internal/core"
 	"diva/internal/mesh"
 )
@@ -36,24 +34,18 @@ func (s *strategy) maybeRemap(vs *varState, v *Variable) {
 	if s.opts.RemapThreshold <= 0 {
 		return
 	}
-	var hot []int
-	for id, st := range vs.nodes {
-		if int(st.accesses) >= s.opts.RemapThreshold {
-			hot = append(hot, id)
+	// The dense node table iterates in id order, which keeps the RNG
+	// stream deterministic without sorting.
+	for id := range vs.nodes {
+		if int(vs.nodes[id].accesses) >= s.opts.RemapThreshold {
+			s.remapNode(vs, v, id)
 		}
-	}
-	if len(hot) == 0 {
-		return
-	}
-	sort.Ints(hot) // map order must not influence the RNG stream
-	for _, id := range hot {
-		s.remapNode(vs, v, id)
 	}
 }
 
 // remapNode moves one tree node to a fresh random position.
 func (s *strategy) remapNode(vs *varState, v *Variable, id int) {
-	st := vs.nodes[id]
+	st := &vs.nodes[id]
 	st.accesses = 0
 	oldPos := s.posOf(vs, id)
 	rect := &s.t.Nodes[id].Rect

@@ -75,13 +75,8 @@ func (b *barrier) wait(p *Proc, val interface{}, combine func(a, b interface{}) 
 	}
 	b.waiting[p.ID] = f
 	parent := t.Nodes[leaf].Parent
-	b.m.Net.Send(&mesh.Msg{
-		Src: p.ID, Dst: b.proc(parent),
-		Size: BarrierBytes + size,
-		Kind: KindBarrierArrive,
-		Payload: &barMsg{node: parent, epoch: epoch, val: val, size: size,
-			combine: combine},
-	})
+	b.m.Net.SendPooled(p.ID, b.proc(parent), BarrierBytes+size, KindBarrierArrive,
+		&barMsg{node: parent, epoch: epoch, val: val, size: size, combine: combine})
 	return f.Await(p.Proc)
 }
 
@@ -107,13 +102,9 @@ func (b *barrier) onArrive(m *mesh.Msg) {
 		b.release(bm.node, bm.epoch, st.val, st.size)
 		return
 	}
-	b.m.Net.Send(&mesh.Msg{
-		Src: b.proc(bm.node), Dst: b.proc(node.Parent),
-		Size: BarrierBytes + st.size,
-		Kind: KindBarrierArrive,
-		Payload: &barMsg{node: node.Parent, epoch: bm.epoch, val: st.val,
-			size: st.size, combine: st.combine},
-	})
+	b.m.Net.SendPooled(b.proc(bm.node), b.proc(node.Parent), BarrierBytes+st.size,
+		KindBarrierArrive, &barMsg{node: node.Parent, epoch: bm.epoch, val: st.val,
+			size: st.size, combine: st.combine})
 }
 
 // release forwards the release from tree node n to all its children.
@@ -127,12 +118,8 @@ func (b *barrier) release(n int, epoch uint64, val interface{}, size int) {
 			dst = b.m.Mesh.ID(mesh.Coord{
 				Row: t.Nodes[child].Rect.R0, Col: t.Nodes[child].Rect.C0})
 		}
-		b.m.Net.Send(&mesh.Msg{
-			Src: src, Dst: dst,
-			Size:    BarrierBytes + size,
-			Kind:    KindBarrierRelease,
-			Payload: &barMsg{node: child, epoch: epoch, val: val, size: size},
-		})
+		b.m.Net.SendPooled(src, dst, BarrierBytes+size, KindBarrierRelease,
+			&barMsg{node: child, epoch: epoch, val: val, size: size})
 	}
 }
 

@@ -130,10 +130,7 @@ func (s *strategy) Read(p *core.Proc, v *core.Variable) interface{} {
 		return v.Data
 	}
 	r := &req{v: v, from: p.ID, fut: sim.NewFuture()}
-	s.m.Net.Send(&mesh.Msg{
-		Src: p.ID, Dst: vs.home,
-		Size: core.ReadReqBytes, Kind: kindReadReq, Payload: r,
-	})
+	s.m.Net.SendPooled(p.ID, vs.home, core.ReadReqBytes, kindReadReq, r)
 	return r.fut.Await(p.Proc)
 }
 
@@ -147,20 +144,14 @@ func (s *strategy) onReadReq(m *mesh.Msg) {
 	// A processor owns the variable: fetch the copy; ownership moves back
 	// to the home ("a read access issued by another processor moves the
 	// ownership back to the main memory").
-	s.m.Net.Send(&mesh.Msg{
-		Src: vs.home, Dst: vs.owner,
-		Size: core.HeaderBytes, Kind: kindFetch, Payload: r,
-	})
+	s.m.Net.SendPooled(vs.home, vs.owner, core.HeaderBytes, kindFetch, r)
 }
 
 func (s *strategy) onFetch(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	vs := vstate(r.v)
 	// The owner keeps its copy valid; the home becomes a holder too.
-	s.m.Net.Send(&mesh.Msg{
-		Src: vs.owner, Dst: vs.home,
-		Size: core.DataBytes(r.v.Size), Kind: kindFetchData, Payload: r,
-	})
+	s.m.Net.SendPooled(vs.owner, vs.home, core.DataBytes(r.v.Size), kindFetchData, r)
 }
 
 func (s *strategy) onFetchData(m *mesh.Msg) {
@@ -175,10 +166,7 @@ func (s *strategy) onFetchData(m *mesh.Msg) {
 // replyData sends the value from the home to the reader.
 func (s *strategy) replyData(r *req) {
 	vs := vstate(r.v)
-	s.m.Net.Send(&mesh.Msg{
-		Src: vs.home, Dst: r.from,
-		Size: core.DataBytes(r.v.Size), Kind: kindData, Payload: r,
-	})
+	s.m.Net.SendPooled(vs.home, r.from, core.DataBytes(r.v.Size), kindData, r)
 }
 
 func (s *strategy) onData(m *mesh.Msg) {
@@ -199,10 +187,7 @@ func (s *strategy) Write(p *core.Proc, v *core.Variable, val interface{}) {
 		return
 	}
 	r := &req{v: v, from: p.ID, write: true, val: val, fut: sim.NewFuture()}
-	s.m.Net.Send(&mesh.Msg{
-		Src: p.ID, Dst: vs.home,
-		Size: core.InvalBytes, Kind: kindWriteReq, Payload: r,
-	})
+	s.m.Net.SendPooled(p.ID, vs.home, core.InvalBytes, kindWriteReq, r)
 	r.fut.Await(p.Proc)
 }
 
@@ -222,20 +207,14 @@ func (s *strategy) onWriteReq(m *mesh.Msg) {
 	}
 	vs.pending = &writeWait{n: len(targets), req: r}
 	for _, h := range targets {
-		s.m.Net.Send(&mesh.Msg{
-			Src: vs.home, Dst: h,
-			Size: core.InvalBytes, Kind: kindInval, Payload: r,
-		})
+		s.m.Net.SendPooled(vs.home, h, core.InvalBytes, kindInval, r)
 	}
 }
 
 func (s *strategy) onInval(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	s.m.Cache(m.Dst).Remove(fhKey{r.v.ID, m.Dst})
-	s.m.Net.Send(&mesh.Msg{
-		Src: m.Dst, Dst: vstate(r.v).home,
-		Size: core.AckBytes, Kind: kindAck, Payload: r,
-	})
+	s.m.Net.SendPooled(m.Dst, vstate(r.v).home, core.AckBytes, kindAck, r)
 }
 
 func (s *strategy) onAck(m *mesh.Msg) {
@@ -263,10 +242,7 @@ func (s *strategy) finishWrite(r *req) {
 	}
 	vs.owner = r.from
 	vs.holders[r.from] = struct{}{}
-	s.m.Net.Send(&mesh.Msg{
-		Src: vs.home, Dst: r.from,
-		Size: core.GrantBytes, Kind: kindGrant, Payload: r,
-	})
+	s.m.Net.SendPooled(vs.home, r.from, core.GrantBytes, kindGrant, r)
 }
 
 func (s *strategy) onGrant(m *mesh.Msg) {

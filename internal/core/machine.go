@@ -66,6 +66,13 @@ type Config struct {
 	// CacheCapacity bounds the memory for copies per node, in bytes.
 	// 0 means unbounded (the paper's default setting).
 	CacheCapacity int
+	// Concurrent marks a machine that runs concurrently with other
+	// machines in the same process (parallel experiment sweeps): it
+	// disables the kernel's GOMAXPROCS pin, which is a process-wide
+	// setting and would serialize all of them. Simulation results are
+	// unaffected — the pin is purely a wall-clock optimization for
+	// single-machine runs.
+	Concurrent bool
 }
 
 // Machine is a simulated mesh machine running the DIVA library.
@@ -103,6 +110,7 @@ func NewMachine(cfg Config) *Machine {
 		Cfg:  cfg,
 		RNG:  xrand.New(cfg.Seed ^ 0xd1b54a32d192ed03),
 	}
+	m.K.SetPinned(!cfg.Concurrent)
 	m.Net = mesh.NewNetwork(m.K, m.Mesh, cfg.Net)
 	m.Tree = decomp.Build(m.Mesh, cfg.Tree)
 	m.caches = make([]Cache, m.Mesh.N())

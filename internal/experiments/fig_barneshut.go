@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"diva/internal/apps/barneshut"
 	"diva/internal/decomp"
@@ -16,6 +17,54 @@ type bhRow struct {
 	total    metrics.Result
 	build    metrics.Result
 	force    metrics.Result
+}
+
+// bhCache memoizes Barnes-Hut runs: Figures 8, 9 and 10 are three views of
+// the same strategy sweep. The cache is shared between the worker clones of
+// a parallel RunAll, with singleflight deduplication so concurrent figures
+// wait for an in-flight run instead of recomputing it (the results are
+// deterministic, so whoever computes a key stores the same rows).
+type bhCache struct {
+	mu       sync.Mutex
+	rows     map[string]bhRow
+	inflight map[string]chan struct{}
+}
+
+func newBHCache() *bhCache {
+	return &bhCache{rows: make(map[string]bhRow), inflight: make(map[string]chan struct{})}
+}
+
+// getOrCompute returns the cached row for key, waiting for a concurrent
+// computation of the same key, or computing (and storing) it itself.
+func (c *bhCache) getOrCompute(key string, compute func() (bhRow, error)) (bhRow, error) {
+	c.mu.Lock()
+	for {
+		if row, ok := c.rows[key]; ok {
+			c.mu.Unlock()
+			return row, nil
+		}
+		ch, busy := c.inflight[key]
+		if !busy {
+			break
+		}
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
+	}
+	ch := make(chan struct{})
+	c.inflight[key] = ch
+	c.mu.Unlock()
+
+	row, err := compute()
+
+	c.mu.Lock()
+	if err == nil {
+		c.rows[key] = row
+	}
+	delete(c.inflight, key)
+	close(ch)
+	c.mu.Unlock()
+	return row, err
 }
 
 // bhStrategies are the five strategies of Figures 8-10, in the paper's
@@ -48,31 +97,29 @@ func (r *Runner) bhMeshSide() int {
 // runBarnesHut executes one configuration and extracts the metrics.
 func (r *Runner) runBarnesHut(rows, cols, n int, s strategyUnderTest) (bhRow, error) {
 	key := fmt.Sprintf("%dx%d/%d/%s", rows, cols, n, s.name)
-	if cached, ok := r.bhCache[key]; ok {
-		return cached[0], nil
-	}
-	m := r.machine(rows, cols, s.fact, s.spec)
-	col := metrics.New(m.Net)
-	steps, measureFrom := 7, 2
-	if r.Quick {
-		steps, measureFrom = 4, 2
-	}
-	_, err := barneshut.Run(m, barneshut.Config{
-		N: n, Steps: steps, MeasureFrom: measureFrom,
-		Seed: r.Seed, WithCompute: true,
-	}, col)
-	if err != nil {
-		return bhRow{}, err
-	}
-	row := bhRow{strategy: s.name, n: n, total: col.Total()}
-	if b, ok := col.Phase(barneshut.PhaseBuild); ok {
-		row.build = b
-	}
-	if f, ok := col.Phase(barneshut.PhaseForce); ok {
-		row.force = f
-	}
-	r.bhCache[key] = []bhRow{row}
-	return row, nil
+	return r.bhCache.getOrCompute(key, func() (bhRow, error) {
+		m := r.machine(rows, cols, s.fact, s.spec)
+		col := metrics.New(m.Net)
+		steps, measureFrom := 7, 2
+		if r.Quick {
+			steps, measureFrom = 4, 2
+		}
+		_, err := barneshut.Run(m, barneshut.Config{
+			N: n, Steps: steps, MeasureFrom: measureFrom,
+			Seed: r.Seed, WithCompute: true,
+		}, col)
+		if err != nil {
+			return bhRow{}, err
+		}
+		row := bhRow{strategy: s.name, n: n, total: col.Total()}
+		if b, ok := col.Phase(barneshut.PhaseBuild); ok {
+			row.build = b
+		}
+		if f, ok := col.Phase(barneshut.PhaseForce); ok {
+			row.force = f
+		}
+		return row, nil
+	})
 }
 
 // bhSweep runs (and caches) the full Figures 8-10 sweep.

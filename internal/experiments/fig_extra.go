@@ -30,6 +30,7 @@ func (r *Runner) AblationReplacement() error {
 			Rows: side, Cols: side, Seed: r.Seed, Tree: decomp.Ary2,
 			Strategy:      accesstree.Factory(),
 			CacheCapacity: capacity,
+			Concurrent:    r.concurrent,
 		})
 		col := metrics.New(m.Net)
 		_, err := barneshut.Run(m, barneshut.Config{
@@ -84,7 +85,8 @@ func (r *Runner) AblationRemap() error {
 	} {
 		m := core.NewMachine(core.Config{
 			Rows: side, Cols: side, Seed: r.Seed, Tree: decomp.Ary4,
-			Strategy: accesstree.FactoryOpts(mode.opts),
+			Strategy:   accesstree.FactoryOpts(mode.opts),
+			Concurrent: r.concurrent,
 		})
 		col := metrics.New(m.Net)
 		if _, err := barneshut.Run(m, barneshut.Config{

@@ -137,7 +137,8 @@ func (r *Runner) AblationEmbedding() error {
 	} {
 		m := core.NewMachine(core.Config{
 			Rows: side, Cols: side, Seed: r.Seed, Tree: decomp.Ary4,
-			Strategy: accesstree.FactoryOpts(mode.opts),
+			Strategy:   accesstree.FactoryOpts(mode.opts),
+			Concurrent: r.concurrent,
 		})
 		res, err := runMatmulOn(m, block, r.Seed)
 		if err != nil {

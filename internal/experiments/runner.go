@@ -11,9 +11,11 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"diva/internal/core"
 	"diva/internal/core/accesstree"
@@ -27,13 +29,23 @@ type Runner struct {
 	W     io.Writer
 	Quick bool
 	Seed  uint64
+	// Workers sets RunAll's degree of parallelism: when > 1, up to that
+	// many figures run concurrently, each on its own runner clone seeded
+	// identically to the sequential run, with the kernels' GOMAXPROCS pin
+	// disabled (it is process-wide and would serialize the workers).
+	// Output is buffered per figure and emitted in figure order, so the
+	// bytes written to W are identical to a sequential run's.
+	Workers int
 
-	bhCache map[string][]bhRow
+	// concurrent marks a worker clone: its machines run alongside others.
+	concurrent bool
+
+	bhCache *bhCache
 }
 
 // New returns a runner writing to w.
 func New(w io.Writer, quick bool, seed uint64) *Runner {
-	return &Runner{W: w, Quick: quick, Seed: seed, bhCache: make(map[string][]bhRow)}
+	return &Runner{W: w, Quick: quick, Seed: seed, bhCache: newBHCache()}
 }
 
 // Figures lists the available experiment names in order.
@@ -77,11 +89,57 @@ func (r *Runner) Run(name string) error {
 	return fmt.Errorf("experiments: unknown figure %q (have %v)", name, Figures)
 }
 
-// RunAll executes every figure.
-func (r *Runner) RunAll() error {
-	for _, f := range Figures {
+// RunAll executes every figure, fanning them across a worker pool when
+// Workers > 1. Figures are independent (each builds its machines from the
+// runner's seed alone), so the parallel run produces byte-identical output.
+func (r *Runner) RunAll() error { return r.RunFigures(Figures) }
+
+// RunFigures executes the named figures in order, in parallel when
+// Workers > 1 (output order and bytes are the same either way).
+func (r *Runner) RunFigures(names []string) error {
+	if r.Workers > 1 {
+		return r.runParallel(names)
+	}
+	for _, f := range names {
 		if err := r.Run(f); err != nil {
 			return fmt.Errorf("figure %s: %w", f, err)
+		}
+		fmt.Fprintln(r.W)
+	}
+	return nil
+}
+
+func (r *Runner) runParallel(names []string) error {
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := make([]result, len(names))
+	sem := make(chan struct{}, r.Workers)
+	var wg sync.WaitGroup
+	for i, f := range names {
+		wg.Add(1)
+		go func(i int, f string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Workers share the parent's Barnes-Hut cache: Figures 8-10
+			// view the same deterministic sweep, so one worker computes
+			// it and the others reuse the rows.
+			sub := &Runner{
+				W: &results[i].buf, Quick: r.Quick, Seed: r.Seed,
+				concurrent: true, bhCache: r.bhCache,
+			}
+			results[i].err = sub.Run(f)
+		}(i, f)
+	}
+	wg.Wait()
+	for i, f := range names {
+		if results[i].err != nil {
+			return fmt.Errorf("figure %s: %w", f, results[i].err)
+		}
+		if _, err := io.Copy(r.W, &results[i].buf); err != nil {
+			return err
 		}
 		fmt.Fprintln(r.W)
 	}
@@ -92,9 +150,10 @@ func (r *Runner) RunAll() error {
 func (r *Runner) machine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
 	return core.NewMachine(core.Config{
 		Rows: rows, Cols: cols,
-		Seed:     r.Seed,
-		Tree:     spec,
-		Strategy: f,
+		Seed:       r.Seed,
+		Tree:       spec,
+		Strategy:   f,
+		Concurrent: r.concurrent,
 	})
 }
 

@@ -17,6 +17,9 @@ func (ib *nodeInbox) init() {
 }
 
 func (nw *Network) deliverInbox(m *Msg) {
+	// Inbox messages outlive their delivery (they wait in the queue until a
+	// process Recvs them), so they must never return to the free list.
+	m.pooled = false
 	ib := &nw.inboxes[m.Dst]
 	ib.init()
 	if ws := ib.waiters[m.Tag]; len(ws) > 0 {

@@ -51,10 +51,16 @@ func GCelParams() Params {
 // Msg is a message in flight. Size is the wire size in bytes including
 // headers; Kind selects the registered handler at the destination; Tag and
 // Payload are opaque to the network.
+//
+// Messages obtained from Network.AcquireMsg are recycled onto a free list
+// as soon as their destination handler returns; handlers must not retain
+// such a message (retaining the Payload is fine). Messages constructed
+// directly with &Msg{...} are never recycled and may be kept forever.
 type Msg struct {
 	Src, Dst int
 	Size     int
 	Kind     uint8
+	pooled   bool
 	Tag      int
 	Payload  interface{}
 }
@@ -94,6 +100,15 @@ type Network struct {
 	sendBytes [256]uint64
 
 	inboxes []nodeInbox
+
+	// arriveFn/readyFn are the two delivery stages, bound once so every
+	// message schedules through the kernel's typed-callback events instead
+	// of two fresh closures.
+	arriveFn func(interface{})
+	readyFn  func(interface{})
+	// freeMsgs is the Msg free list (the simulation is single-threaded, so
+	// a plain slice does what sync.Pool would, without the overhead).
+	freeMsgs []*Msg
 }
 
 // NewNetwork creates a network over mesh m using kernel k.
@@ -111,7 +126,44 @@ func NewNetwork(k *sim.Kernel, m Mesh, p Params) *Network {
 		inboxes:   make([]nodeInbox, m.N()),
 	}
 	nw.handlers[KindInbox] = nw.deliverInbox
+	nw.arriveFn = nw.msgArrive
+	nw.readyFn = nw.msgReady
 	return nw
+}
+
+// AcquireMsg returns a zeroed message from the network's free list (or a
+// fresh one). It is recycled automatically after its destination handler
+// returns; see Msg for the retention contract. SendPooled wraps the common
+// acquire-fill-send sequence.
+func (nw *Network) AcquireMsg() *Msg {
+	if n := len(nw.freeMsgs); n > 0 {
+		m := nw.freeMsgs[n-1]
+		nw.freeMsgs = nw.freeMsgs[:n-1]
+		return m
+	}
+	return &Msg{pooled: true}
+}
+
+// SendPooled sends a recycled message: protocol hot paths use it to make a
+// full send-route-deliver cycle allocation-free.
+func (nw *Network) SendPooled(src, dst, size int, kind uint8, payload interface{}) {
+	m := nw.AcquireMsg()
+	m.Src, m.Dst, m.Size, m.Kind, m.Payload = src, dst, size, kind, payload
+	nw.Send(m)
+}
+
+// SendPooledTag is SendPooled with a Tag, for protocols that pack their
+// per-hop state into the tag instead of allocating a payload.
+func (nw *Network) SendPooledTag(src, dst, size int, kind uint8, tag int, payload interface{}) {
+	m := nw.AcquireMsg()
+	m.Src, m.Dst, m.Size, m.Kind, m.Tag, m.Payload = src, dst, size, kind, tag, payload
+	nw.Send(m)
+}
+
+// releaseMsg returns a pooled message to the free list.
+func (nw *Network) releaseMsg(m *Msg) {
+	*m = Msg{pooled: true}
+	nw.freeMsgs = append(nw.freeMsgs, m)
 }
 
 // Handle registers the handler for a message kind. Registering kind 0
@@ -164,27 +216,40 @@ func (nw *Network) chargeSend(src int) sim.Time {
 	return depart
 }
 
-// deliverAfterRoute routes m starting at depart and schedules the
-// destination handler after receive overhead.
+// deliverAfterRoute routes m starting at depart and schedules the arrival
+// stage. Delivery is two typed kernel events (arrive, then ready) carrying
+// the *Msg itself — no closures, no allocations.
 func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
 	nw.sendMsgs[m.Kind]++
 	nw.sendBytes[m.Kind] += uint64(m.Size)
 	arrive := nw.route(m, depart)
-	nw.K.At(arrive, func() {
-		t := nw.K.Now()
-		if nw.cpuFree[m.Dst] > t {
-			t = nw.cpuFree[m.Dst]
-		}
-		ready := t + nw.P.StartupRecvUS
-		nw.cpuFree[m.Dst] = ready
-		nw.K.At(ready, func() {
-			h := nw.handlers[m.Kind]
-			if h == nil {
-				panic(fmt.Sprintf("mesh: no handler for message kind %d", m.Kind))
-			}
-			h(m)
-		})
-	})
+	nw.K.AtCall(arrive, nw.arriveFn, m)
+}
+
+// msgArrive charges the receive overhead on the destination CPU and
+// schedules the handler dispatch.
+func (nw *Network) msgArrive(x interface{}) {
+	m := x.(*Msg)
+	t := nw.K.Now()
+	if nw.cpuFree[m.Dst] > t {
+		t = nw.cpuFree[m.Dst]
+	}
+	ready := t + nw.P.StartupRecvUS
+	nw.cpuFree[m.Dst] = ready
+	nw.K.AtCall(ready, nw.readyFn, m)
+}
+
+// msgReady dispatches m to its kind's handler and recycles pooled messages.
+func (nw *Network) msgReady(x interface{}) {
+	m := x.(*Msg)
+	h := nw.handlers[m.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler for message kind %d", m.Kind))
+	}
+	h(m)
+	if m.pooled {
+		nw.releaseMsg(m)
+	}
 }
 
 // route models wormhole transmission of m along the dimension-order path:
@@ -202,10 +267,18 @@ func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 	dur := float64(m.Size) / nw.P.BytesPerUS
 	t := depart
 	// Walk the dimension-order path without allocating (routing runs for
-	// every message; mesh paths are at most rows+cols links long).
+	// every message; mesh paths are at most rows+cols links long). The
+	// fixed buffers cover every mesh with rows+cols <= 128 — up to the
+	// paper's largest machines and far beyond; larger meshes fall back to
+	// heap-allocated path buffers sized by the exact Manhattan distance.
 	var pathBuf [128]int
 	var startBuf [128]sim.Time
 	path := pathBuf[:0]
+	starts := startBuf[:0]
+	if need := nw.M.Dist(m.Src, m.Dst); need > len(pathBuf) {
+		path = make([]int, 0, need)
+		starts = make([]sim.Time, 0, need)
+	}
 	cur := nw.M.CoordOf(m.Src)
 	dst := nw.M.CoordOf(m.Dst)
 	for cur.Col != dst.Col {
@@ -224,7 +297,6 @@ func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 		path = append(path, nw.M.LinkID(nw.M.ID(cur), d))
 		cur = nw.M.CoordOf(nw.M.Neighbor(nw.M.ID(cur), d))
 	}
-	starts := startBuf[:0]
 	for _, li := range path {
 		l := &nw.links[li]
 		s := t

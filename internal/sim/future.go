@@ -4,10 +4,15 @@ package sim
 // called from event or process context; Await must be called from process
 // context. A Future may have any number of waiters; all are woken when the
 // value arrives. The zero value is ready for use.
+//
+// The first waiter is stored inline: almost every future in the simulator
+// has exactly one (a transaction, a lock, a barrier entry), so the waiter
+// slice — and its allocation — only materializes for fan-in futures.
 type Future struct {
 	done    bool
 	val     interface{}
-	waiters []*Proc
+	w0      *Proc   // first waiter, inline
+	waiters []*Proc // further waiters (rare)
 }
 
 // NewFuture returns an incomplete future.
@@ -28,9 +33,12 @@ func (f *Future) Complete(k *Kernel, val interface{}) {
 	}
 	f.done = true
 	f.val = val
+	if f.w0 != nil {
+		k.atProc(k.now, f.w0)
+		f.w0 = nil
+	}
 	for _, p := range f.waiters {
-		proc := p
-		k.At(k.now, func() { k.runProc(proc) })
+		k.atProc(k.now, p)
 	}
 	f.waiters = nil
 }
@@ -41,7 +49,11 @@ func (f *Future) Await(p *Proc) interface{} {
 	if f.done {
 		return f.val
 	}
-	f.waiters = append(f.waiters, p)
+	if f.w0 == nil {
+		f.w0 = p
+	} else {
+		f.waiters = append(f.waiters, p)
+	}
 	p.park()
 	return f.val
 }

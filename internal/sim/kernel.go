@@ -9,8 +9,8 @@
 //
 // Two execution contexts exist:
 //
-//   - Event context: callbacks scheduled with At/After run inline in the
-//     kernel loop. They must not block. Protocol handlers (message
+//   - Event context: callbacks scheduled with At/After/AtCall run inline in
+//     the kernel loop. They must not block. Protocol handlers (message
 //     deliveries) run in this context.
 //   - Process context: goroutines spawned with Spawn. They may block on
 //     futures and timed waits. Application programs (one per simulated
@@ -18,11 +18,20 @@
 //
 // Time is measured in microseconds (float64); ties are broken by schedule
 // order, which makes runs deterministic.
+//
+// The event queue is the hottest data structure of the whole simulator, so
+// it avoids container/heap: events live unboxed in a plain []event backing
+// array organized as a 4-ary min-heap with inlined sift-up/sift-down (a
+// 4-ary heap halves the tree depth vs. a binary heap and keeps the four
+// children of a node on one cache line pair). An event is a small tagged
+// union — a process wakeup, a typed callback with one pointer argument, or
+// a func() closure as the fallback — so the hot paths (proc wakeups,
+// message deliveries) schedule with zero allocations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 )
@@ -30,29 +39,25 @@ import (
 // Time is simulated time in microseconds.
 type Time = float64
 
+// event is one scheduled occurrence. Exactly one of the payload fields is
+// set: proc (resume a parked process), hfn (typed callback applied to arg),
+// or fn (closure fallback). Keeping the variants unboxed in one struct is
+// what makes the queue allocation-free.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	proc *Proc
+	hfn  func(interface{})
+	arg  interface{}
+	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// before is the queue's strict ordering: time, then schedule order.
+func (e *event) before(o *event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Kernel is the simulation engine. The zero value is not usable; construct
@@ -60,10 +65,12 @@ func (h *eventHeap) Pop() interface{} {
 type Kernel struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	pq      []event // 4-ary min-heap ordered by (t, seq)
 	procs   []*Proc
 	parked  chan struct{} // signaled by a proc when it hands control back
 	stopped bool
+	noPin   bool
+	fp      uint64 // running hash of the executed event order
 }
 
 // New returns an empty kernel at time 0.
@@ -74,14 +81,100 @@ func New() *Kernel {
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run in event context at absolute time t. Scheduling in
-// the past panics: it would make time run backwards.
-func (k *Kernel) At(t Time, fn func()) {
+// SetPinned controls whether Run pins GOMAXPROCS to 1 (the default).
+// Disable the pin when several independent kernels run concurrently —
+// e.g. parallel experiment sweeps — where the process-wide GOMAXPROCS
+// setting would serialize all of them.
+func (k *Kernel) SetPinned(pinned bool) { k.noPin = !pinned }
+
+// Fingerprint returns a hash chain over the executed event order: every
+// popped event folds its (time, sequence) pair into the running value.
+// Two runs with the same fingerprint executed the exact same events in the
+// exact same order — the determinism regression tests rely on this.
+func (k *Kernel) Fingerprint() uint64 { return k.fp }
+
+// checkPast panics when t lies before now: it would make time run backwards.
+func (k *Kernel) checkPast(t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
+}
+
+// push inserts e with inlined sift-up.
+func (k *Kernel) push(e event) {
+	h := append(k.pq, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	k.pq = h
+}
+
+// pop removes and returns the minimum event with inlined sift-down (hole
+// method: move the last element down instead of repeated swaps).
+func (k *Kernel) pop() event {
+	h := k.pq
+	top := h[0]
+	last := len(h) - 1
+	e := h[last]
+	h[last] = event{} // release payload references to the GC
+	h = h[:last]
+	k.pq = h
+	if last > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= last {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > last {
+				end = last
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&e) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = e
+	}
+	return top
+}
+
+// At schedules fn to run in event context at absolute time t. Scheduling in
+// the past panics: it would make time run backwards.
+func (k *Kernel) At(t Time, fn func()) {
+	k.checkPast(t)
 	k.seq++
-	heap.Push(&k.pq, event{t: t, seq: k.seq, fn: fn})
+	k.push(event{t: t, seq: k.seq, fn: fn})
+}
+
+// AtCall schedules fn(arg) to run in event context at absolute time t.
+// Unlike At it captures no closure: callers keep one long-lived fn and pass
+// per-event state through arg (a pointer, so no boxing allocation either).
+func (k *Kernel) AtCall(t Time, fn func(interface{}), arg interface{}) {
+	k.checkPast(t)
+	k.seq++
+	k.push(event{t: t, seq: k.seq, hfn: fn, arg: arg})
+}
+
+// atProc schedules p to resume at absolute time t, with no allocation.
+func (k *Kernel) atProc(t Time, p *Proc) {
+	k.checkPast(t)
+	k.seq++
+	k.push(event{t: t, seq: k.seq, proc: p})
 }
 
 // After schedules fn to run in event context after delay d (d >= 0).
@@ -100,13 +193,24 @@ func (k *Kernel) After(d Time, fn func()) {
 // or one process) runs at any time. Running on a single P makes the
 // kernel/process handoffs cheap scheduler switches instead of cross-core
 // futex wake-ups (~2x end-to-end), so Run pins GOMAXPROCS to 1 for its
-// duration and restores it afterwards.
+// duration and restores it afterwards — unless SetPinned(false) opted out
+// because several kernels run concurrently.
 func (k *Kernel) Run() error {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	if !k.noPin {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
 	for len(k.pq) > 0 && !k.stopped {
-		e := heap.Pop(&k.pq).(event)
+		e := k.pop()
 		k.now = e.t
-		e.fn()
+		k.fp = k.fp*0x9e3779b97f4a7c15 + (math.Float64bits(e.t) ^ e.seq)
+		switch {
+		case e.proc != nil:
+			k.runProc(e.proc)
+		case e.hfn != nil:
+			e.hfn(e.arg)
+		default:
+			e.fn()
+		}
 	}
 	var blocked []string
 	for _, p := range k.procs {

@@ -53,7 +53,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		p.done = true
 		k.parked <- struct{}{} // final hand-back
 	}()
-	k.At(k.now, func() { k.runProc(p) })
+	k.atProc(k.now, p)
 	return p
 }
 
@@ -68,19 +68,14 @@ func (p *Proc) park() {
 }
 
 // kill unblocks a parked process with the kill flag so it unwinds.
-// Must be called from kernel context while the process is parked.
+// Must be called from kernel context while the process is parked: the
+// process goroutine is blocked on (or headed for) <-p.resume, so the send
+// rendezvous directly — no helper goroutine needed.
 func (p *Proc) kill() {
 	if p.done {
 		return
 	}
-	done := make(chan struct{})
-	go func() {
-		p.resume <- procSignal{kill: true}
-		close(done)
-	}()
-	// The killed process will either re-park (it won't: panic(killed) skips
-	// the park path) or finish unwinding. Wait for the handshake to land.
-	<-done
+	p.resume <- procSignal{kill: true}
 	p.done = true
 }
 
@@ -92,7 +87,7 @@ func (p *Proc) Wait(d Time) {
 	if d == 0 {
 		return
 	}
-	p.k.After(d, func() { p.k.runProc(p) })
+	p.k.atProc(p.k.now+d, p)
 	p.park()
 }
 
@@ -101,14 +96,14 @@ func (p *Proc) WaitUntil(t Time) {
 	if t <= p.k.now {
 		return
 	}
-	p.k.At(t, func() { p.k.runProc(p) })
+	p.k.atProc(t, p)
 	p.park()
 }
 
 // Yield reschedules the process at the current time behind already-queued
 // events. Useful to let pending deliveries run.
 func (p *Proc) Yield() {
-	p.k.At(p.k.now, func() { p.k.runProc(p) })
+	p.k.atProc(p.k.now, p)
 	p.park()
 }
 
