@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet fmt bench
+.PHONY: all build test vet fmt bench bench-check
 
 all: vet build test
 
@@ -24,3 +24,11 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkFig -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
+
+# bench-check runs bench and then validates the emitted JSON: it must
+# parse and contain a completed entry for every BenchmarkFig the test
+# binary lists (guards the cmd/benchjson pipeline from silent drift).
+bench-check: bench
+	$(GO) test -run '^$$' -list 'BenchmarkFig.*' . | grep '^Benchmark' > .benchlist.txt
+	$(GO) run ./cmd/benchjson -check BENCH_$(DATE).json -expect .benchlist.txt
+	@rm -f .benchlist.txt

@@ -168,6 +168,45 @@ func BenchmarkFig8BarnesHutAccessTree2(b *testing.B) {
 // Figures 9 and 10 are phase views of the same runs; their metrics are
 // reported by the Fig8 benchmarks above (fig9-*/fig10-* metrics).
 
+// --- Topologies sweep: the Fig-8 workload on non-mesh networks ---
+
+// benchTopoBarnesHut tracks the routing cost of the non-mesh topologies:
+// the same Barnes-Hut cell the "topologies" sweep runs, one benchmark per
+// network family.
+func benchTopoBarnesHut(b *testing.B, topo mesh.Topology) {
+	var cong uint64
+	var simTime float64
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(core.Config{
+			Topology: topo, Seed: 1999, Tree: decomp.Ary4,
+			Strategy: accesstree.Factory(),
+		})
+		col := metrics.New(m.Net)
+		_, err := barneshut.Run(m, barneshut.Config{
+			N: 600, Steps: 4, MeasureFrom: 2, Seed: 1999, WithCompute: true,
+		}, col)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot := col.Total()
+		cong, simTime = tot.Cong.MaxMsgs, tot.TimeUS
+	}
+	b.ReportMetric(float64(cong), "congestion-msgs")
+	b.ReportMetric(simTime/1000, "simulated-ms")
+}
+
+func BenchmarkFigTopologiesTorusAccessTree4(b *testing.B) {
+	benchTopoBarnesHut(b, mesh.NewTorus(4, 4))
+}
+
+func BenchmarkFigTopologiesHypercubeAccessTree4(b *testing.B) {
+	benchTopoBarnesHut(b, mesh.NewHypercube(4))
+}
+
+func BenchmarkFigTopologiesFatTreeAccessTree4(b *testing.B) {
+	benchTopoBarnesHut(b, mesh.NewFatTree(4))
+}
+
 // --- Figure 11: Barnes-Hut scaling with N = 200·P ---
 
 func BenchmarkFig11BarnesHutScale8x16AccessTree4K8(b *testing.B) {

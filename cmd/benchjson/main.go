@@ -8,11 +8,18 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkFig -benchmem . | benchjson > BENCH_2026-07-26.json
+//	benchjson -check BENCH_2026-07-26.json -expect benchlist.txt
+//
+// Check mode guards the pipeline against silent drift: it verifies the
+// emitted file parses, that every benchmark named in -expect (one name per
+// line, as printed by `go test -list`) is present, and that every entry
+// recorded an iteration count and a positive ns/op.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -29,6 +36,17 @@ type result struct {
 }
 
 func main() {
+	check := flag.String("check", "", "validate an emitted BENCH_<date>.json instead of converting stdin")
+	expect := flag.String("expect", "", "check mode: file listing required benchmark names, one per line")
+	flag.Parse()
+	if *check != "" {
+		if err := runCheck(*check, *expect); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	out := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -86,4 +104,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCheck validates an emitted JSON document: it must parse, contain
+// every expected benchmark, and every entry must have run.
+func runCheck(path, expectPath string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	got := make(map[string]result)
+	if err := json.Unmarshal(data, &got); err != nil {
+		return fmt.Errorf("%s does not parse: %w", path, err)
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("%s contains no benchmark entries", path)
+	}
+	var missing, broken []string
+	for name, r := range got {
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			broken = append(broken, name)
+		}
+	}
+	if expectPath != "" {
+		want, err := os.ReadFile(expectPath)
+		if err != nil {
+			return err
+		}
+		expected := 0
+		for _, line := range strings.Split(string(want), "\n") {
+			name := strings.TrimSpace(line)
+			if !strings.HasPrefix(name, "Benchmark") {
+				continue
+			}
+			expected++
+			if _, ok := got[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+		if expected == 0 {
+			return fmt.Errorf("%s lists no benchmarks — expectation file drifted", expectPath)
+		}
+	}
+	if len(missing) > 0 || len(broken) > 0 {
+		return fmt.Errorf("%s: missing entries %v, entries without results %v", path, missing, broken)
+	}
+	fmt.Printf("benchjson: %s ok (%d entries)\n", path, len(got))
+	return nil
 }

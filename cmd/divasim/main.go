@@ -1,5 +1,5 @@
-// Command divasim runs a single application/strategy configuration on the
-// simulated mesh and reports congestion and execution time — the
+// Command divasim runs a single application/strategy configuration on a
+// simulated machine and reports congestion and execution time — the
 // exploration tool behind the experiment harness.
 //
 // Examples:
@@ -8,11 +8,14 @@
 //	divasim -app bitonic -strategy at2k4 -mesh 8x8 -keys 4096
 //	divasim -app barneshut -strategy fixedhome -mesh 8x8 -bodies 4000
 //	divasim -app matmul -strategy handopt -mesh 32x32 -block 4096
+//	divasim -app barneshut -strategy at4 -topology torus -mesh 8x8
+//	divasim -app barneshut -strategy at2 -topology hypercube -mesh 8x8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/bits"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +27,7 @@ import (
 	"diva/internal/core/accesstree"
 	"diva/internal/core/fixedhome"
 	"diva/internal/decomp"
+	"diva/internal/mesh"
 	"diva/internal/metrics"
 )
 
@@ -55,13 +59,40 @@ func parseMesh(s string) (int, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	if r <= 0 || c <= 0 {
+		return 0, 0, fmt.Errorf("mesh %q: dimensions must be positive", s)
+	}
 	return r, c, nil
+}
+
+// buildTopology maps the -topology flag to a mesh.Topology over the -mesh
+// dimensions. The hypercube and fat-tree take their size from the node
+// count, which must be a power of two.
+func buildTopology(kind string, rows, cols int) (mesh.Topology, error) {
+	switch kind {
+	case "mesh":
+		return mesh.New(rows, cols), nil
+	case "torus":
+		return mesh.NewTorus(rows, cols), nil
+	case "hypercube", "fattree":
+		n := rows * cols
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("%s needs a power-of-two node count, have %d", kind, n)
+		}
+		dim := bits.Len(uint(n)) - 1
+		if kind == "hypercube" {
+			return mesh.NewHypercube(dim), nil
+		}
+		return mesh.NewFatTree(dim), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q (want mesh, torus, hypercube, fattree)", kind)
 }
 
 func main() {
 	app := flag.String("app", "matmul", "application: matmul, bitonic, barneshut")
 	strat := flag.String("strategy", "at4", "data management strategy: fixedhome, at2, at4, at16, at2k4, at4k8, at4k16, atrandom, handopt")
 	meshFlag := flag.String("mesh", "8x8", "mesh dimensions ROWSxCOLS")
+	topoFlag := flag.String("topology", "mesh", "network topology: mesh, torus, hypercube, fattree (size from -mesh)")
 	block := flag.Int("block", 1024, "matmul: block size in integers (perfect square)")
 	keys := flag.Int("keys", 4096, "bitonic: keys per processor")
 	bodies := flag.Int("bodies", 4000, "barneshut: number of bodies")
@@ -85,9 +116,13 @@ func main() {
 	if sc.fact == nil && *app == "barneshut" {
 		fail(fmt.Errorf("barneshut has no hand-optimized strategy (see §3.3 of the paper)"))
 	}
+	topo, err := buildTopology(*topoFlag, rows, cols)
+	if err != nil {
+		fail(err)
+	}
 
 	m := core.NewMachine(core.Config{
-		Rows: rows, Cols: cols, Seed: *seed, Tree: sc.spec,
+		Topology: topo, Seed: *seed, Tree: sc.spec,
 		Strategy: sc.fact, CacheCapacity: *capacity,
 	})
 
@@ -131,7 +166,7 @@ func main() {
 	if sc.fact != nil {
 		name = m.Strat.Name()
 	}
-	fmt.Printf("application:  %s on %s\n", *app, m.Mesh)
+	fmt.Printf("application:  %s on %s\n", *app, m.Topo)
 	fmt.Printf("strategy:     %s\n", name)
 	fmt.Printf("elapsed:      %.1f ms (simulated)\n", elapsed/1000)
 	c := m.Net.Congestion(nil)
@@ -164,10 +199,14 @@ func main() {
 		}
 	}
 	if *heatmap {
+		mm, isMesh := m.MeshTopo()
+		if !isMesh {
+			fail(fmt.Errorf("-heatmap is mesh-specific, topology is %s", m.Topo))
+		}
 		fmt.Println("\nhorizontal link load (deciles of the busiest link):")
-		fmt.Print(metrics.HeatmapMsgs(m.Mesh, m.Net.Loads(), nil))
+		fmt.Print(metrics.HeatmapMsgs(mm, m.Net.Loads(), nil))
 		fmt.Println("\nbusiest links:")
-		for _, l := range metrics.TopLinks(m.Mesh, m.Net.Loads(), 8) {
+		for _, l := range metrics.TopLinks(mm, m.Net.Loads(), 8) {
 			fmt.Println(" ", l)
 		}
 	}

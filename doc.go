@@ -2,15 +2,24 @@
 // Networks: Experimental Evaluation of a Provably Good Strategy" (Krick,
 // Meyer auf der Heide, Räcke, Vöcking, Westermann; SPAA 1999): the DIVA
 // (Distributed Variables) library — transparent access to global variables
-// on a simulated mesh-connected parallel machine — together with the access
-// tree data management strategy, the fixed home baseline, the paper's three
+// on a simulated parallel machine — together with the access tree data
+// management strategy, the fixed home baseline, the paper's three
 // applications (matrix multiplication, bitonic sorting, Barnes-Hut) and a
 // harness that regenerates every figure of the evaluation.
 //
-// See README.md for an overview, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured record. The library lives under
-// internal/: start with internal/core (the DIVA API) and
-// internal/core/accesstree (the paper's contribution).
+// The library lives under internal/: start with internal/core (the DIVA
+// API) and internal/core/accesstree (the paper's contribution).
+//
+// The network is pluggable (internal/mesh.Topology): the paper's 2D mesh
+// is the default and is bit-identical to the original mesh-only
+// implementation, and a 2D torus, a hypercube and a binary fat-tree run
+// the same strategies unchanged — the hierarchical decomposition
+// (internal/decomp) is computed from the topology (grid rectangles for
+// mesh/torus, processor-id spans for the rest), and the paper's modular
+// embedding generalizes per region kind. The "topologies" experiment
+// (internal/experiments, cmd/experiments -fig topologies) sweeps all
+// strategies across the four networks at matched processor counts;
+// cmd/divasim takes a -topology flag for one-off runs.
 //
 // The simulator's hot path is allocation-free by design (see PERF.md for
 // the profile-driven rationale and the baseline-vs-after numbers): the

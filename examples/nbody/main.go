@@ -51,7 +51,7 @@ func main() {
 	e1 := barneshut.Energy(final, 0.05)
 
 	fmt.Printf("simulated %d bodies for %d steps on %s (%s)\n",
-		cfg.N, cfg.Steps, m.Mesh, m.Strat.Name())
+		cfg.N, cfg.Steps, m.Topo, m.Strat.Name())
 	fmt.Printf("octree depth %d, %d force interactions in the last step\n",
 		res.MaxDepth, res.Interactions)
 	fmt.Printf("energy drift: %.4f -> %.4f (%.2f%%)\n", e0, e1, 100*(e1-e0)/(-e0))
@@ -65,10 +65,16 @@ func main() {
 	}
 
 	fmt.Println("\nwork balance (bodies per processor after costzones):")
+	// Lay the counts out as the mesh grid; on a non-mesh topology print
+	// them as one flat row.
+	mm, isMesh := m.MeshTopo()
 	for pr, n := range res.BodiesPerProc {
 		fmt.Printf("%4d", n)
-		if (pr+1)%m.Mesh.Cols == 0 {
+		if isMesh && (pr+1)%mm.Cols == 0 {
 			fmt.Println()
 		}
+	}
+	if !isMesh {
+		fmt.Println()
 	}
 }

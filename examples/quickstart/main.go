@@ -55,5 +55,5 @@ func main() {
 	c := m.Net.Congestion(nil)
 	fmt.Printf("simulated time: %.0fus, congestion: %d msgs / %d bytes on the busiest link\n",
 		m.Elapsed(), c.MaxMsgs, c.MaxBytes)
-	fmt.Printf("strategy: %s on %s\n", m.Strat.Name(), m.Mesh)
+	fmt.Printf("strategy: %s on %s\n", m.Strat.Name(), m.Topo)
 }

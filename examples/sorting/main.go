@@ -56,7 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 	c := m.Net.Congestion(nil)
-	fmt.Printf("\nsorted %d keys on %s with %s\n", 512*m.P(), m.Mesh, m.Strat.Name())
+	fmt.Printf("\nsorted %d keys on %s with %s\n", 512*m.P(), m.Topo, m.Strat.Name())
 	fmt.Printf("merge&split steps: %d, simulated time %.1f ms, congestion %d bytes\n",
 		res.Steps, res.ElapsedUS/1000, c.MaxBytes)
 	fmt.Printf("output verified sorted: %v\n", res.Verified)

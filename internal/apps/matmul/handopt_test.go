@@ -85,14 +85,17 @@ func TestHandOptCongestionLinearInBlockSize(t *testing.T) {
 	}
 }
 
-// TestNonSquareMeshRejected: the blocked algorithm needs a square grid.
+// TestNonSquareMeshRejected: the hand-optimized pipeline is wired to the
+// mesh links and needs a square mesh; the DSM variant only needs a square
+// processor count (its block grid lives on processor ids, so it runs on
+// any topology).
 func TestNonSquareMeshRejected(t *testing.T) {
 	m := newMachine(2, 8, nil, decomp.Ary2)
 	if _, err := RunHandOpt(m, Config{BlockInts: 16}); err == nil {
-		t.Fatal("2x8 mesh accepted")
+		t.Fatal("2x8 mesh accepted by the hand-optimized variant")
 	}
-	m2 := newMachine(2, 8, nil, decomp.Ary2)
+	m2 := newMachine(2, 4, nil, decomp.Ary2)
 	if _, err := RunDSM(m2, Config{BlockInts: 16}); err == nil {
-		t.Fatal("2x8 mesh accepted by DSM variant")
+		t.Fatal("8 processors (not a square count) accepted by DSM variant")
 	}
 }

@@ -103,9 +103,8 @@ func mulAdd(h, x, y block, b int) {
 // RunDSM executes the matrix square through the machine's data management
 // strategy (access tree or fixed home).
 func RunDSM(m *core.Machine, cfg Config) (Result, error) {
-	if m.Mesh.Rows != m.Mesh.Cols {
-		return Result{}, fmt.Errorf("matmul: needs a square mesh, have %s", m.Mesh)
-	}
+	// The DSM version communicates only through the data management
+	// strategy, so it runs on any topology with a square processor count.
 	s, b, err := cfg.Dims(m.P())
 	if err != nil {
 		return Result{}, err
@@ -199,8 +198,9 @@ type handMsg struct {
 // processor passed keeps a copy. The machine needs no data management
 // strategy.
 func RunHandOpt(m *core.Machine, cfg Config) (Result, error) {
-	if m.Mesh.Rows != m.Mesh.Cols {
-		return Result{}, fmt.Errorf("matmul: needs a square mesh, have %s", m.Mesh)
+	mm, ok := m.MeshTopo()
+	if !ok || mm.Rows != mm.Cols {
+		return Result{}, fmt.Errorf("matmul: hand-optimized version needs a square mesh, have %s", m.Topo)
 	}
 	s, b, err := cfg.Dims(m.P())
 	if err != nil {
@@ -218,9 +218,9 @@ func RunHandOpt(m *core.Machine, cfg Config) (Result, error) {
 		}
 		// Launch the block in all four directions.
 		for _, d := range []mesh.Dir{mesh.East, mesh.West, mesh.South, mesh.North} {
-			if m.Mesh.HasLink(p.ID, d) {
+			if mm.HasLink(p.ID, d) {
 				nw.SendFrom(p.Proc, &mesh.Msg{
-					Src: p.ID, Dst: m.Mesh.Neighbor(p.ID, d),
+					Src: p.ID, Dst: mm.Neighbor(p.ID, d),
 					Size: core.HeaderBytes + blockBytes,
 					Kind: mesh.KindInbox, Tag: anyTag,
 					Payload: &handMsg{origin: p.ID, dir: d, data: own},
@@ -239,9 +239,9 @@ func RunHandOpt(m *core.Machine, cfg Config) (Result, error) {
 			} else {
 				colBlocks[hm.origin] = hm.data
 			}
-			if m.Mesh.HasLink(p.ID, hm.dir) {
+			if mm.HasLink(p.ID, hm.dir) {
 				nw.SendFrom(p.Proc, &mesh.Msg{
-					Src: p.ID, Dst: m.Mesh.Neighbor(p.ID, hm.dir),
+					Src: p.ID, Dst: mm.Neighbor(p.ID, hm.dir),
 					Size: core.HeaderBytes + blockBytes,
 					Kind: mesh.KindInbox, Tag: anyTag,
 					Payload: hm,

@@ -36,7 +36,6 @@ import (
 
 	"diva/internal/core"
 	"diva/internal/decomp"
-	"diva/internal/mesh"
 	"diva/internal/xrand"
 )
 
@@ -146,9 +145,9 @@ func (s *strategy) Name() string {
 
 // varState is the per-variable protocol state.
 type varState struct {
-	rootPos    mesh.Coord
-	seed       uint64 // for the random-embedding ablation
-	creatorPos mesh.Coord
+	rootPos int    // processor the tree root is embedded at
+	seed    uint64 // for the random-embedding ablation
+	creator int    // processor that created the variable
 	// nodes holds the state of every tree node, indexed by tree node id.
 	// The dense table replaces the old map of deviations: a protocol hop
 	// touches it once per message, and the slice index beats the map hash
@@ -161,7 +160,7 @@ type varState struct {
 	lock    *lockState
 	// posOverride holds remapped node positions (random embedding with
 	// Options.RemapThreshold only); remaps counts migrations.
-	posOverride map[int]mesh.Coord
+	posOverride map[int]int
 	remaps      int
 }
 
@@ -209,7 +208,7 @@ func (s *strategy) initNodes(vs *varState) {
 		}
 		next := -1
 		for i, c := range n.Children {
-			if s.t.Nodes[c].Rect.Contains(vs.creatorPos) {
+			if s.t.Nodes[c].Region.ContainsProc(vs.creator) {
 				vs.nodes[cur].toward = int32(i)
 				next = c
 				break
@@ -227,26 +226,26 @@ func (s *strategy) initNodes(vs *varState) {
 // form still backs the lazily-materialized lock arrows.)
 func (s *strategy) defaultToward(vs *varState, id int) int32 {
 	n := &s.t.Nodes[id]
-	if !n.Rect.Contains(vs.creatorPos) {
+	if !n.Region.ContainsProc(vs.creator) {
 		return towardUp
 	}
 	if n.Leaf() {
 		return towardSelf
 	}
 	for i, c := range n.Children {
-		if s.t.Nodes[c].Rect.Contains(vs.creatorPos) {
+		if s.t.Nodes[c].Region.ContainsProc(vs.creator) {
 			return int32(i)
 		}
 	}
 	panic("accesstree: no child contains the creator position")
 }
 
-// posOf computes the mesh position of a tree node under the variable's
-// embedding. The modular embedding derives positions root-down; the random
-// embedding is a pure hash. Cost is O(depth) arithmetic, no messages and
-// no allocation: the embedding is globally known given the variable's
-// root placement.
-func (s *strategy) posOf(vs *varState, id int) mesh.Coord {
+// posOf computes the processor simulating a tree node under the
+// variable's embedding. The modular embedding derives positions
+// root-down; the random embedding is a pure hash. Cost is O(depth)
+// arithmetic, no messages and no allocation: the embedding is globally
+// known given the variable's root placement.
+func (s *strategy) posOf(vs *varState, id int) int {
 	if s.opts.RandomEmbedding {
 		if vs.posOverride != nil {
 			if pos, ok := vs.posOverride[id]; ok {
@@ -270,14 +269,14 @@ func (s *strategy) posOf(vs *varState, id int) mesh.Coord {
 
 // procOf returns the processor simulating tree node id.
 func (s *strategy) procOf(vs *varState, id int) int {
-	return s.m.Mesh.ID(s.posOf(vs, id))
+	return s.posOf(vs, id)
 }
 
 func (s *strategy) InitVar(v *Variable) {
 	vs := &varState{
-		rootPos:    s.t.RandomRoot(s.rng),
-		seed:       s.rng.Uint64(),
-		creatorPos: s.m.Mesh.CoordOf(v.Creator),
+		rootPos: s.t.RandomRoot(s.rng),
+		seed:    s.rng.Uint64(),
+		creator: v.Creator,
 	}
 	if n := len(s.nodeFree); n > 0 {
 		vs.nodes = s.nodeFree[n-1]

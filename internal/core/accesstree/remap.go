@@ -47,24 +47,19 @@ func (s *strategy) maybeRemap(vs *varState, v *Variable) {
 func (s *strategy) remapNode(vs *varState, v *Variable, id int) {
 	st := &vs.nodes[id]
 	st.accesses = 0
-	oldPos := s.posOf(vs, id)
-	rect := &s.t.Nodes[id].Rect
-	if rect.Single() {
+	oldProc := s.posOf(vs, id)
+	region := s.t.Nodes[id].Region
+	if region.Single() {
 		return // a leaf is pinned to its processor
 	}
-	newPos := mesh.Coord{
-		Row: rect.R0 + s.rng.Intn(rect.Rows),
-		Col: rect.C0 + s.rng.Intn(rect.Cols),
-	}
+	newProc := region.Draw(s.rng)
 	if vs.posOverride == nil {
-		vs.posOverride = make(map[int]mesh.Coord)
+		vs.posOverride = make(map[int]int)
 	}
-	vs.posOverride[id] = newPos
+	vs.posOverride[id] = newProc
 	vs.remaps++
 	s.remaps++
 
-	oldProc := s.m.Mesh.ID(oldPos)
-	newProc := s.m.Mesh.ID(newPos)
 	// The node's state travels: a full copy if it is a member, pointer
 	// state otherwise.
 	size := core.ReadReqBytes

@@ -96,9 +96,9 @@ func TestRemapMovesHotNode(t *testing.T) {
 	}
 	s := m.Strat.(*strategy)
 	for id, pos := range vs.posOverride {
-		if !s.t.Nodes[id].Rect.Contains(pos) {
-			t.Fatalf("remapped node %d at %v outside its submesh %+v",
-				id, pos, s.t.Nodes[id].Rect)
+		if !s.t.Nodes[id].Region.ContainsProc(pos) {
+			t.Fatalf("remapped node %d at processor %d outside its region %+v",
+				id, pos, s.t.Nodes[id].Region)
 		}
 	}
 }

@@ -15,7 +15,7 @@ import (
 // embedding with one randomly placed root, chosen at machine construction.
 type barrier struct {
 	m   *Machine
-	pos []mesh.Coord // embedding of every tree node
+	pos []int // embedding of every tree node: the simulating processor
 
 	epoch   []uint64      // per processor: next epoch to enter
 	waiting []*sim.Future // per processor: outstanding completion
@@ -57,7 +57,7 @@ func newBarrier(m *Machine) *barrier {
 }
 
 // proc returns the processor simulating tree node n.
-func (b *barrier) proc(n int) int { return b.m.Mesh.ID(b.pos[n]) }
+func (b *barrier) proc(n int) int { return b.pos[n] }
 
 // wait enters the barrier from process p, optionally contributing a
 // reduction value.
@@ -111,14 +111,10 @@ func (b *barrier) onArrive(m *mesh.Msg) {
 func (b *barrier) release(n int, epoch uint64, val interface{}, size int) {
 	t := b.m.Tree
 	src := b.proc(n)
-	for _, c := range t.Nodes[n].Children {
-		child := c
-		dst := b.proc(child)
-		if t.Nodes[child].Leaf() {
-			dst = b.m.Mesh.ID(mesh.Coord{
-				Row: t.Nodes[child].Rect.R0, Col: t.Nodes[child].Rect.C0})
-		}
-		b.m.Net.SendPooled(src, dst, BarrierBytes+size, KindBarrierRelease,
+	for _, child := range t.Nodes[n].Children {
+		// A leaf's region is its single processor, so the embedding pins
+		// the leaf to the processor whose process it releases.
+		b.m.Net.SendPooled(src, b.proc(child), BarrierBytes+size, KindBarrierRelease,
 			&barMsg{node: child, epoch: epoch, val: val, size: size})
 	}
 }
@@ -128,7 +124,7 @@ func (b *barrier) onRelease(m *mesh.Msg) {
 	t := b.m.Tree
 	node := &t.Nodes[bm.node]
 	if node.Leaf() {
-		proc := b.m.Mesh.ID(mesh.Coord{Row: node.Rect.R0, Col: node.Rect.C0})
+		proc := b.proc(bm.node)
 		f := b.waiting[proc]
 		b.waiting[proc] = nil
 		f.Complete(b.m.K, bm.val)

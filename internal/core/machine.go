@@ -58,11 +58,16 @@ type Factory func(*Machine) Strategy
 
 // Config describes a simulated machine.
 type Config struct {
-	Rows, Cols int         // mesh dimensions
-	Net        mesh.Params // timing; zero value means mesh.GCelParams()
-	Seed       uint64      // master random seed
-	Tree       decomp.Spec // decomposition for access trees and the barrier
-	Strategy   Factory     // data management strategy (nil: no shared vars)
+	Rows, Cols int // mesh dimensions (used when Topology is nil)
+	// Topology selects the interconnect. When nil, a Rows×Cols mesh (the
+	// paper's platform) is built; any other mesh.Topology — torus,
+	// hypercube, fat-tree, or one of your own — runs the same strategies
+	// unchanged.
+	Topology mesh.Topology
+	Net      mesh.Params // timing; zero value means mesh.GCelParams()
+	Seed     uint64      // master random seed
+	Tree     decomp.Spec // decomposition for access trees and the barrier
+	Strategy Factory     // data management strategy (nil: no shared vars)
 	// CacheCapacity bounds the memory for copies per node, in bytes.
 	// 0 means unbounded (the paper's default setting).
 	CacheCapacity int
@@ -75,11 +80,11 @@ type Config struct {
 	Concurrent bool
 }
 
-// Machine is a simulated mesh machine running the DIVA library.
+// Machine is a simulated parallel machine running the DIVA library.
 type Machine struct {
 	K    *sim.Kernel
 	Net  *mesh.Network
-	Mesh mesh.Mesh
+	Topo mesh.Topology
 	Tree *decomp.Tree
 	Cfg  Config
 	RNG  *xrand.RNG
@@ -95,8 +100,12 @@ type Machine struct {
 
 // NewMachine builds a machine from cfg.
 func NewMachine(cfg Config) *Machine {
-	if cfg.Rows <= 0 || cfg.Cols <= 0 {
-		panic("core: mesh dimensions must be positive")
+	topo := cfg.Topology
+	if topo == nil {
+		if cfg.Rows <= 0 || cfg.Cols <= 0 {
+			panic("core: mesh dimensions must be positive")
+		}
+		topo = mesh.New(cfg.Rows, cfg.Cols)
 	}
 	if cfg.Net.BytesPerUS == 0 {
 		cfg.Net = mesh.GCelParams()
@@ -106,14 +115,14 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m := &Machine{
 		K:    sim.New(),
-		Mesh: mesh.New(cfg.Rows, cfg.Cols),
+		Topo: topo,
 		Cfg:  cfg,
 		RNG:  xrand.New(cfg.Seed ^ 0xd1b54a32d192ed03),
 	}
 	m.K.SetPinned(!cfg.Concurrent)
-	m.Net = mesh.NewNetwork(m.K, m.Mesh, cfg.Net)
-	m.Tree = decomp.Build(m.Mesh, cfg.Tree)
-	m.caches = make([]Cache, m.Mesh.N())
+	m.Net = mesh.NewNetwork(m.K, m.Topo, cfg.Net)
+	m.Tree = decomp.Build(m.Topo, cfg.Tree)
+	m.caches = make([]Cache, m.Topo.N())
 	for i := range m.caches {
 		m.caches[i].capacity = cfg.CacheCapacity
 	}
@@ -125,7 +134,15 @@ func NewMachine(cfg Config) *Machine {
 }
 
 // P returns the number of processors.
-func (m *Machine) P() int { return m.Mesh.N() }
+func (m *Machine) P() int { return m.Topo.N() }
+
+// MeshTopo returns the machine's topology as a 2D mesh when it is one
+// (the hand-optimized message passing programs and the link heatmaps are
+// mesh-specific).
+func (m *Machine) MeshTopo() (mesh.Mesh, bool) {
+	mm, ok := m.Topo.(mesh.Mesh)
+	return mm, ok
+}
 
 // Var returns the variable record for id. Freed or unknown ids panic.
 func (m *Machine) Var(id VarID) *Variable {

@@ -1,11 +1,14 @@
-// Package decomp implements the hierarchical mesh decomposition of the
-// paper (§2) and the decomposition trees derived from it.
+// Package decomp implements the hierarchical network decomposition of the
+// paper (§2) and the decomposition trees derived from it, generalized from
+// the paper's 2D mesh to any mesh.Topology.
 //
 // The 2-ary decomposition of an m1×m2 mesh (m1 ≥ m2) recursively splits the
 // longer side into ⌈m1/2⌉×m2 and ⌊m1/2⌋×m2 submeshes until single
 // processors remain (Figure 1 of the paper). The decomposition tree has one
 // node per submesh; the access tree of every global variable is a copy of
-// this tree.
+// this tree. Non-grid topologies decompose the same way over their
+// processor-id space (see Region): on the hypercube the halves are
+// subcubes, on the fat-tree they are switch subtrees.
 //
 // Flatter trees reduce startup costs: the 4-ary decomposition skips the odd
 // levels of the 2-ary one, the 16-ary skips the odd levels of the 4-ary
@@ -76,46 +79,12 @@ func (s Spec) levelsPerEdge() int {
 	panic("decomp: invalid Base " + fmt.Sprint(s.Base))
 }
 
-// Rect is a submesh: rows [R0, R0+Rows) × columns [C0, C0+Cols).
-type Rect struct {
-	R0, C0, Rows, Cols int
-}
-
-// Size returns the number of processors in the submesh.
-func (r Rect) Size() int { return r.Rows * r.Cols }
-
-// Single reports whether the submesh is a single processor.
-func (r Rect) Single() bool { return r.Rows == 1 && r.Cols == 1 }
-
-// Contains reports whether the coordinate lies in the submesh.
-func (r Rect) Contains(c mesh.Coord) bool {
-	return c.Row >= r.R0 && c.Row < r.R0+r.Rows && c.Col >= r.C0 && c.Col < r.C0+r.Cols
-}
-
-// Split applies the paper's halving rule: the longer side (rows on ties) is
-// split into ⌈n/2⌉ and ⌊n/2⌋. Splitting a single processor panics.
-func (r Rect) Split() (a, b Rect) {
-	if r.Single() {
-		panic("decomp: splitting a single processor")
-	}
-	if r.Rows >= r.Cols {
-		h := (r.Rows + 1) / 2
-		a = Rect{R0: r.R0, C0: r.C0, Rows: h, Cols: r.Cols}
-		b = Rect{R0: r.R0 + h, C0: r.C0, Rows: r.Rows - h, Cols: r.Cols}
-		return a, b
-	}
-	w := (r.Cols + 1) / 2
-	a = Rect{R0: r.R0, C0: r.C0, Rows: r.Rows, Cols: w}
-	b = Rect{R0: r.R0, C0: r.C0 + w, Rows: r.Rows, Cols: r.Cols - w}
-	return a, b
-}
-
 // Node is one node of a decomposition tree.
 type Node struct {
 	ID       int
 	Parent   int // -1 for the root
 	Children []int
-	Rect     Rect
+	Region   Region
 	Depth    int // depth in this tree (root = 0)
 	// ChildIndex is this node's index in its parent's Children slice
 	// (-1 for the root).
@@ -127,62 +96,62 @@ type Node struct {
 // Leaf reports whether the node is a leaf (a single processor).
 func (n *Node) Leaf() bool { return len(n.Children) == 0 }
 
-// Tree is a decomposition tree over a mesh.
+// Tree is a decomposition tree over a topology.
 type Tree struct {
-	M     mesh.Mesh
+	T     mesh.Topology
 	Spec  Spec
 	Nodes []Node
 
 	// Leaves maps leaf index -> node id, in left-to-right order.
 	Leaves []int
-	// LeafOfProc maps a row-major processor id to its leaf node id.
+	// LeafOfProc maps a processor id to its leaf node id.
 	LeafOfProc []int
-	// ProcOfLeaf maps leaf index -> row-major processor id. This is the
-	// processor ident-numbering used by bitonic sorting and costzones.
+	// ProcOfLeaf maps leaf index -> processor id. This is the processor
+	// ident-numbering used by bitonic sorting and costzones.
 	ProcOfLeaf []int
 	// MaxDepth is the depth of the deepest leaf.
 	MaxDepth int
 }
 
-// Build constructs the decomposition tree for m according to spec.
-func Build(m mesh.Mesh, spec Spec) *Tree {
+// Build constructs the decomposition tree for topology t according to
+// spec.
+func Build(t mesh.Topology, spec Spec) *Tree {
 	if !spec.Valid() {
 		panic(fmt.Sprintf("decomp: invalid spec %+v", spec))
 	}
-	t := &Tree{M: m, Spec: spec, LeafOfProc: make([]int, m.N())}
-	for i := range t.LeafOfProc {
-		t.LeafOfProc[i] = -1
+	tr := &Tree{T: t, Spec: spec, LeafOfProc: make([]int, t.N())}
+	for i := range tr.LeafOfProc {
+		tr.LeafOfProc[i] = -1
 	}
-	root := Rect{Rows: m.Rows, Cols: m.Cols}
-	t.build(root, -1, -1, 0)
-	if len(t.Leaves) != m.N() {
-		panic(fmt.Sprintf("decomp: built %d leaves for %d processors", len(t.Leaves), m.N()))
+	tr.build(rootRegion(t), -1, -1, 0)
+	if len(tr.Leaves) != t.N() {
+		panic(fmt.Sprintf("decomp: built %d leaves for %d processors", len(tr.Leaves), t.N()))
 	}
-	return t
+	return tr
 }
 
-// build materializes the node for rect and recursively its children.
-func (t *Tree) build(rect Rect, parent, childIndex, depth int) int {
+// build materializes the node for region and recursively its children.
+func (t *Tree) build(region Region, parent, childIndex, depth int) int {
 	id := len(t.Nodes)
 	t.Nodes = append(t.Nodes, Node{
-		ID: id, Parent: parent, Rect: rect, Depth: depth,
+		ID: id, Parent: parent, Region: region, Depth: depth,
 		ChildIndex: childIndex, LeafIndex: -1,
 	})
 	if depth > t.MaxDepth {
 		t.MaxDepth = depth
 	}
 	switch {
-	case rect.Single():
-		t.addLeaf(id, rect)
-	case t.Spec.TermK > 0 && rect.Size() <= t.Spec.TermK:
+	case region.Single():
+		t.addLeaf(id, region)
+	case t.Spec.TermK > 0 && region.Size() <= t.Spec.TermK:
 		// Terminal node: one leaf child per processor, in the 2-ary
-		// decomposition order of the submesh.
-		for _, cell := range decompOrder(rect) {
+		// decomposition order of the region.
+		for _, cell := range decompOrder(region) {
 			cid := t.build(cell, id, len(t.Nodes[id].Children), depth+1)
 			t.Nodes[id].Children = append(t.Nodes[id].Children, cid)
 		}
 	default:
-		for _, sub := range descend(rect, t.Spec.levelsPerEdge()) {
+		for _, sub := range descend(region, t.Spec.levelsPerEdge()) {
 			cid := t.build(sub, id, len(t.Nodes[id].Children), depth+1)
 			t.Nodes[id].Children = append(t.Nodes[id].Children, cid)
 		}
@@ -190,33 +159,33 @@ func (t *Tree) build(rect Rect, parent, childIndex, depth int) int {
 	return id
 }
 
-func (t *Tree) addLeaf(id int, rect Rect) {
-	proc := t.M.ID(mesh.Coord{Row: rect.R0, Col: rect.C0})
+func (t *Tree) addLeaf(id int, region Region) {
+	proc := region.FirstProc()
 	t.Nodes[id].LeafIndex = len(t.Leaves)
 	t.Leaves = append(t.Leaves, id)
 	t.ProcOfLeaf = append(t.ProcOfLeaf, proc)
 	t.LeafOfProc[proc] = id
 }
 
-// descend splits rect through `levels` binary levels and returns the
-// resulting submeshes in decomposition order. Submeshes that reach a single
+// descend splits region through `levels` binary levels and returns the
+// resulting regions in decomposition order. Regions that reach a single
 // processor early are returned as-is (this is how a 4-ary tree attaches a
 // leaf that appears at an odd 2-ary level).
-func descend(rect Rect, levels int) []Rect {
-	if levels == 0 || rect.Single() {
-		return []Rect{rect}
+func descend(region Region, levels int) []Region {
+	if levels == 0 || region.Single() {
+		return []Region{region}
 	}
-	a, b := rect.Split()
+	a, b := region.Halves()
 	return append(descend(a, levels-1), descend(b, levels-1)...)
 }
 
-// decompOrder returns the single processors of rect in the order of the
+// decompOrder returns the single processors of region in the order of the
 // 2-ary decomposition's leaves.
-func decompOrder(rect Rect) []Rect {
-	if rect.Single() {
-		return []Rect{rect}
+func decompOrder(region Region) []Region {
+	if region.Single() {
+		return []Region{region}
 	}
-	a, b := rect.Split()
+	a, b := region.Halves()
 	return append(decompOrder(a), decompOrder(b)...)
 }
 

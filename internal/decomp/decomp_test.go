@@ -37,7 +37,7 @@ func TestFigure1Partitions(t *testing.T) {
 	var l1 []Rect
 	for _, n := range tr.Nodes {
 		if n.Depth == 1 {
-			l1 = append(l1, n.Rect)
+			l1 = append(l1, n.Region.(Rect))
 		}
 	}
 	if len(l1) != 2 || l1[0].Rows != 2 || l1[0].Cols != 3 || l1[1].Rows != 2 || l1[1].Cols != 3 {
@@ -47,13 +47,14 @@ func TestFigure1Partitions(t *testing.T) {
 	count22, count21 := 0, 0
 	for _, n := range tr.Nodes {
 		if n.Depth == 2 {
+			rect := n.Region.(Rect)
 			switch {
-			case n.Rect.Rows == 2 && n.Rect.Cols == 2:
+			case rect.Rows == 2 && rect.Cols == 2:
 				count22++
-			case n.Rect.Rows == 2 && n.Rect.Cols == 1:
+			case rect.Rows == 2 && rect.Cols == 1:
 				count21++
 			default:
-				t.Fatalf("unexpected level-2 rect %+v", n.Rect)
+				t.Fatalf("unexpected level-2 rect %+v", rect)
 			}
 		}
 	}
@@ -82,46 +83,53 @@ func TestTreeInvariants16ary(t *testing.T) {
 	checkTreeInvariants(t, Build(mesh.New(32, 32), Ary16), 16)
 }
 
+// regionProcs enumerates the processors of a region via its leaves.
+func regionProcs(r Region) []int {
+	if r.Single() {
+		return []int{r.FirstProc()}
+	}
+	a, b := r.Halves()
+	return append(regionProcs(a), regionProcs(b)...)
+}
+
 // checkTreeInvariants verifies structural soundness for any tree: children
-// partition the parent's submesh, degrees are bounded by the arity, leaves
-// are single processors covering the whole mesh in order.
+// partition the parent's region, degrees are bounded by the arity, leaves
+// are single processors covering the whole network in order.
 func checkTreeInvariants(t *testing.T, tr *Tree, maxDeg int) {
 	t.Helper()
 	if tr.Spec.TermK > maxDeg {
 		maxDeg = tr.Spec.TermK
 	}
 	root := tr.Nodes[0]
-	if root.Rect.Size() != tr.M.N() {
-		t.Fatal("root does not cover the mesh")
+	if root.Region.Size() != tr.T.N() {
+		t.Fatal("root does not cover the network")
 	}
 	for _, n := range tr.Nodes {
 		if n.Leaf() {
-			if !n.Rect.Single() {
-				t.Fatalf("leaf %d is not a single processor: %+v", n.ID, n.Rect)
+			if !n.Region.Single() {
+				t.Fatalf("leaf %d is not a single processor: %+v", n.ID, n.Region)
 			}
 			continue
 		}
 		if len(n.Children) < 2 || len(n.Children) > maxDeg {
 			t.Fatalf("node %d has degree %d (max %d)", n.ID, len(n.Children), maxDeg)
 		}
-		// Children partition the parent's submesh.
+		// Children partition the parent's region.
 		area := 0
 		for i, c := range n.Children {
 			cn := tr.Nodes[c]
 			if cn.Parent != n.ID || cn.ChildIndex != i || cn.Depth != n.Depth+1 {
 				t.Fatalf("child bookkeeping wrong at node %d child %d", n.ID, c)
 			}
-			area += cn.Rect.Size()
-			for r := cn.Rect.R0; r < cn.Rect.R0+cn.Rect.Rows; r++ {
-				for col := cn.Rect.C0; col < cn.Rect.C0+cn.Rect.Cols; col++ {
-					if !n.Rect.Contains(mesh.Coord{Row: r, Col: col}) {
-						t.Fatalf("child %d escapes parent %d", c, n.ID)
-					}
+			area += cn.Region.Size()
+			for _, p := range regionProcs(cn.Region) {
+				if !n.Region.ContainsProc(p) {
+					t.Fatalf("child %d escapes parent %d", c, n.ID)
 				}
 			}
 		}
-		if area != n.Rect.Size() {
-			t.Fatalf("children of %d cover %d cells of %d", n.ID, area, n.Rect.Size())
+		if area != n.Region.Size() {
+			t.Fatalf("children of %d cover %d cells of %d", n.ID, area, n.Region.Size())
 		}
 	}
 	// Leaf numbering is a bijection with processors.
@@ -139,8 +147,8 @@ func checkTreeInvariants(t *testing.T, tr *Tree, maxDeg int) {
 			t.Fatalf("LeafOfProc inverse broken for %d", p)
 		}
 	}
-	if len(seen) != tr.M.N() {
-		t.Fatalf("leaf order covers %d of %d processors", len(seen), tr.M.N())
+	if len(seen) != tr.T.N() {
+		t.Fatalf("leaf order covers %d of %d processors", len(seen), tr.T.N())
 	}
 }
 
@@ -153,12 +161,12 @@ func Test4arySkipsOddLevels(t *testing.T) {
 	evens := make(map[Rect]bool)
 	for _, n := range t2.Nodes {
 		if n.Depth%2 == 0 || n.Leaf() {
-			evens[n.Rect] = true
+			evens[n.Region.(Rect)] = true
 		}
 	}
 	for _, n := range t4.Nodes {
-		if !evens[n.Rect] {
-			t.Fatalf("4-ary node %+v is not an even-level 2-ary submesh", n.Rect)
+		if !evens[n.Region.(Rect)] {
+			t.Fatalf("4-ary node %+v is not an even-level 2-ary submesh", n.Region)
 		}
 	}
 	// Depth halves (16x16: 2-ary depth 8 -> 4-ary depth 4).
@@ -187,10 +195,10 @@ func TestTermKAttachesProcessors(t *testing.T) {
 		if n.Leaf() {
 			continue
 		}
-		if n.Rect.Size() <= 4 {
+		if n.Region.Size() <= 4 {
 			// Terminal node: all children must be leaves, one per processor.
-			if len(n.Children) != n.Rect.Size() {
-				t.Fatalf("terminal node %+v has %d children", n.Rect, len(n.Children))
+			if len(n.Children) != n.Region.Size() {
+				t.Fatalf("terminal node %+v has %d children", n.Region, len(n.Children))
 			}
 			for _, c := range n.Children {
 				if !tr.Nodes[c].Leaf() {
@@ -200,7 +208,7 @@ func TestTermKAttachesProcessors(t *testing.T) {
 		} else {
 			for _, c := range n.Children {
 				cn := tr.Nodes[c]
-				if cn.Rect.Size() > 4 && len(cn.Children) > 2 {
+				if cn.Region.Size() > 4 && len(cn.Children) > 2 {
 					t.Fatalf("non-terminal region has degree >2")
 				}
 			}
@@ -218,12 +226,13 @@ func Test4K8Tree(t *testing.T) {
 // aligned block of 2^d consecutive leaves lies inside one submesh of the
 // decomposition (this is what bitonic sorting and costzones exploit).
 func TestLeafOrderLocality(t *testing.T) {
-	tr := Build(mesh.New(8, 8), Ary2)
+	m := mesh.New(8, 8)
+	tr := Build(m, Ary2)
 	// Consecutive leaf pairs (2-aligned) must be mesh neighbors: they share
 	// a depth-(max-1) submesh of size 2.
 	for i := 0; i+1 < len(tr.Leaves); i += 2 {
 		a, b := tr.ProcOfLeaf[i], tr.ProcOfLeaf[i+1]
-		if tr.M.Dist(a, b) != 1 {
+		if m.Dist(a, b) != 1 {
 			t.Fatalf("leaf pair %d,%d not adjacent (procs %d,%d)", i, i+1, a, b)
 		}
 	}
@@ -231,7 +240,7 @@ func TestLeafOrderLocality(t *testing.T) {
 	for start := 0; start+16 <= len(tr.Leaves); start += 16 {
 		minR, maxR, minC, maxC := 99, -1, 99, -1
 		for i := start; i < start+16; i++ {
-			c := tr.M.CoordOf(tr.ProcOfLeaf[i])
+			c := m.CoordOf(tr.ProcOfLeaf[i])
 			if c.Row < minR {
 				minR = c.Row
 			}
@@ -317,7 +326,7 @@ func TestTreeInvariantsRandomSizes(t *testing.T) {
 			return false
 		}
 		for _, n := range tr.Nodes {
-			if n.Leaf() != n.Rect.Single() {
+			if n.Leaf() != n.Region.Single() {
 				return false
 			}
 		}
@@ -350,6 +359,31 @@ func TestSpecNames(t *testing.T) {
 	}
 	if (Spec{Base: 4, TermK: 2}).Valid() {
 		t.Error("TermK < Base accepted")
+	}
+}
+
+// TestTreeInvariantsNonGrid: the decomposition generalizes to non-grid
+// topologies — hypercube regions are subcubes, fat-tree regions subtree
+// host ranges; all structural invariants carry over.
+func TestTreeInvariantsNonGrid(t *testing.T) {
+	for _, topo := range []mesh.Topology{
+		mesh.NewHypercube(4), mesh.NewHypercube(6),
+		mesh.NewFatTree(4), mesh.NewFatTree(6),
+	} {
+		checkTreeInvariants(t, Build(topo, Ary2), 2)
+		checkTreeInvariants(t, Build(topo, Ary4), 4)
+		checkTreeInvariants(t, Build(topo, Ary16), 16)
+		checkTreeInvariants(t, Build(topo, Ary4K8), 8)
+	}
+	// A power-of-two span decomposes into subcubes: every region of the
+	// 2-ary tree on the 4-cube is an aligned power-of-two range.
+	tr := Build(mesh.NewHypercube(4), Ary2)
+	for _, n := range tr.Nodes {
+		s := n.Region.(Span)
+		size := s.Hi - s.Lo
+		if size&(size-1) != 0 || s.Lo%size != 0 {
+			t.Fatalf("hypercube region %+v is not an aligned subcube", s)
+		}
 	}
 }
 

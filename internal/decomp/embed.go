@@ -1,70 +1,63 @@
 package decomp
 
 import (
-	"diva/internal/mesh"
 	"diva/internal/xrand"
 )
 
-// This file implements the embeddings of access trees into the mesh.
+// This file implements the embeddings of access trees into the network.
+// Positions are processor ids; the region types translate the paper's
+// coordinate rules into id arithmetic (bit-identically for the mesh).
 //
 // The theoretical strategy maps every access tree node uniformly at random
-// into its submesh. The paper's practical improvement ("modified
+// into its region. The paper's practical improvement ("modified
 // embedding") instead maps only the root randomly and derives every other
 // node from its parent with a modular rule, which shortens the expected
 // distance between neighboring tree nodes: if the parent is mapped to the
 // node in row i, column j of its submesh M', then the child is mapped to
-// the node in row i mod m1, column j mod m2 of its submesh M.
+// the node in row i mod m1, column j mod m2 of its submesh M (Region.Embed
+// generalizes this rule to non-grid regions via decomposition-order
+// ranks).
 
-// EmbedChild applies the modular rule: given the (absolute) mesh position
-// of the parent of node childID, it returns the absolute position of
-// childID within its own submesh.
-func (t *Tree) EmbedChild(parentPos mesh.Coord, childID int) mesh.Coord {
+// EmbedChild applies the modular rule: given the processor simulating the
+// parent of node childID, it returns the processor simulating childID
+// within its own region.
+func (t *Tree) EmbedChild(parentProc int, childID int) int {
 	c := &t.Nodes[childID]
-	p := &t.Nodes[c.Parent]
-	i := parentPos.Row - p.Rect.R0
-	j := parentPos.Col - p.Rect.C0
-	return mesh.Coord{
-		Row: c.Rect.R0 + i%c.Rect.Rows,
-		Col: c.Rect.C0 + j%c.Rect.Cols,
-	}
+	return c.Region.Embed(t.Nodes[c.Parent].Region, parentProc)
 }
 
-// EmbedPathDown returns the positions of the nodes on the root-down path
+// EmbedPathDown returns the processors of the nodes on the root-down path
 // `path` (as produced by PathDown) under the modular embedding with the
-// given root position.
-func (t *Tree) EmbedPathDown(rootPos mesh.Coord, path []int) []mesh.Coord {
-	out := make([]mesh.Coord, len(path))
-	out[0] = rootPos
+// given root processor.
+func (t *Tree) EmbedPathDown(rootProc int, path []int) []int {
+	out := make([]int, len(path))
+	out[0] = rootProc
 	for i := 1; i < len(path); i++ {
 		out[i] = t.EmbedChild(out[i-1], path[i])
 	}
 	return out
 }
 
-// EmbedAll returns the position of every tree node under the modular
-// embedding with the given root position, indexed by node id.
-func (t *Tree) EmbedAll(rootPos mesh.Coord) []mesh.Coord {
-	out := make([]mesh.Coord, len(t.Nodes))
-	out[0] = rootPos
+// EmbedAll returns the processor of every tree node under the modular
+// embedding with the given root processor, indexed by node id.
+func (t *Tree) EmbedAll(rootProc int) []int {
+	out := make([]int, len(t.Nodes))
+	out[0] = rootProc
 	for id := 1; id < len(t.Nodes); id++ {
 		out[id] = t.EmbedChild(out[t.Nodes[id].Parent], id)
 	}
 	return out
 }
 
-// RandomPos returns a position uniformly at random within the submesh of
-// node id, as a pure function of (seed, id) — the fully random embedding of
-// the theoretical analysis, kept for the embedding ablation.
-func (t *Tree) RandomPos(seed uint64, id int) mesh.Coord {
-	r := &t.Nodes[id].Rect
+// RandomPos returns a processor uniformly at random within the region of
+// node id, as a pure function of (seed, id) — the fully random embedding
+// of the theoretical analysis, kept for the embedding ablation.
+func (t *Tree) RandomPos(seed uint64, id int) int {
 	rng := xrand.New(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
-	return mesh.Coord{
-		Row: r.R0 + rng.Intn(r.Rows),
-		Col: r.C0 + rng.Intn(r.Cols),
-	}
+	return t.Nodes[id].Region.Draw(rng)
 }
 
-// RandomRoot draws a root position uniformly from the whole mesh.
-func (t *Tree) RandomRoot(rng *xrand.RNG) mesh.Coord {
-	return mesh.Coord{Row: rng.Intn(t.M.Rows), Col: rng.Intn(t.M.Cols)}
+// RandomRoot draws a root processor uniformly from the whole network.
+func (t *Tree) RandomRoot(rng *xrand.RNG) int {
+	return t.Nodes[0].Region.Draw(rng)
 }

@@ -9,7 +9,7 @@ import (
 )
 
 // TestEmbedChildStaysInSubmesh: the modular embedding always maps a node
-// into its own submesh.
+// into its own region.
 func TestEmbedChildStaysInSubmesh(t *testing.T) {
 	for _, spec := range []Spec{Ary2, Ary4, Ary16, Ary2K4, Ary4K16} {
 		tr := Build(mesh.New(16, 16), spec)
@@ -18,37 +18,38 @@ func TestEmbedChildStaysInSubmesh(t *testing.T) {
 			root := tr.RandomRoot(rng)
 			pos := tr.EmbedAll(root)
 			for id, n := range tr.Nodes {
-				if !n.Rect.Contains(pos[id]) {
-					t.Fatalf("%s: node %d at %v outside %+v", spec.Name(), id, pos[id], n.Rect)
+				if !n.Region.ContainsProc(pos[id]) {
+					t.Fatalf("%s: node %d at %v outside %+v", spec.Name(), id, pos[id], n.Region)
 				}
 			}
 		}
 	}
 }
 
-// TestEmbedLeafIsItself: a leaf's submesh is a single processor, so every
+// TestEmbedLeafIsItself: a leaf's region is a single processor, so every
 // embedding maps the leaf onto that processor.
 func TestEmbedLeafIsItself(t *testing.T) {
-	tr := Build(mesh.New(8, 8), Ary2)
-	pos := tr.EmbedAll(mesh.Coord{Row: 3, Col: 5})
-	for _, nid := range tr.Leaves {
-		n := tr.Nodes[nid]
-		want := mesh.Coord{Row: n.Rect.R0, Col: n.Rect.C0}
-		if pos[nid] != want {
-			t.Fatalf("leaf %d embedded at %v, want %v", nid, pos[nid], want)
+	m := mesh.New(8, 8)
+	tr := Build(m, Ary2)
+	pos := tr.EmbedAll(m.ID(mesh.Coord{Row: 3, Col: 5}))
+	for li, nid := range tr.Leaves {
+		if pos[nid] != tr.ProcOfLeaf[li] {
+			t.Fatalf("leaf %d embedded at %v, want %v", nid, pos[nid], tr.ProcOfLeaf[li])
 		}
 	}
 }
 
 // TestModularRule checks the paper's formula directly on a known case.
 func TestModularRule(t *testing.T) {
-	tr := Build(mesh.New(4, 4), Ary2)
+	m := mesh.New(4, 4)
+	tr := Build(m, Ary2)
 	root := tr.Nodes[0]
 	// Root at row 3, col 2. First child is the top 2x4 submesh:
 	// i = 3, j = 2 relative to root; child pos = (3 mod 2, 2 mod 4) = (1, 2).
 	child := tr.Nodes[root.Children[0]]
-	got := tr.EmbedChild(mesh.Coord{Row: 3, Col: 2}, child.ID)
-	want := mesh.Coord{Row: child.Rect.R0 + 1, Col: child.Rect.C0 + 2}
+	got := tr.EmbedChild(m.ID(mesh.Coord{Row: 3, Col: 2}), child.ID)
+	rect := child.Region.(Rect)
+	want := m.ID(mesh.Coord{Row: rect.R0 + 1, Col: rect.C0 + 2})
 	if got != want {
 		t.Fatalf("EmbedChild = %v, want %v", got, want)
 	}
@@ -56,9 +57,10 @@ func TestModularRule(t *testing.T) {
 
 // TestEmbedDeterministic: same root, same positions.
 func TestEmbedDeterministic(t *testing.T) {
-	tr := Build(mesh.New(16, 16), Ary4)
-	a := tr.EmbedAll(mesh.Coord{Row: 7, Col: 9})
-	b := tr.EmbedAll(mesh.Coord{Row: 7, Col: 9})
+	m := mesh.New(16, 16)
+	tr := Build(m, Ary4)
+	a := tr.EmbedAll(m.ID(mesh.Coord{Row: 7, Col: 9}))
+	b := tr.EmbedAll(m.ID(mesh.Coord{Row: 7, Col: 9}))
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("embedding not deterministic")
@@ -69,8 +71,9 @@ func TestEmbedDeterministic(t *testing.T) {
 // TestEmbedPathDownMatchesEmbedAll: incremental path embedding agrees with
 // the full embedding.
 func TestEmbedPathDownMatchesEmbedAll(t *testing.T) {
-	tr := Build(mesh.New(16, 16), Ary2)
-	root := mesh.Coord{Row: 2, Col: 13}
+	m := mesh.New(16, 16)
+	tr := Build(m, Ary2)
+	root := m.ID(mesh.Coord{Row: 2, Col: 13})
 	all := tr.EmbedAll(root)
 	check := func(x uint16) bool {
 		leaf := tr.Leaves[int(x)%len(tr.Leaves)]
@@ -89,7 +92,7 @@ func TestEmbedPathDownMatchesEmbedAll(t *testing.T) {
 }
 
 // TestRandomPosInSubmesh: the ablation embedding also stays inside the
-// submesh and is a pure function of (seed, node).
+// region and is a pure function of (seed, node).
 func TestRandomPosInSubmesh(t *testing.T) {
 	tr := Build(mesh.New(16, 16), Ary4)
 	for id, n := range tr.Nodes {
@@ -98,8 +101,8 @@ func TestRandomPosInSubmesh(t *testing.T) {
 		if p1 != p2 {
 			t.Fatal("RandomPos not deterministic")
 		}
-		if !n.Rect.Contains(p1) {
-			t.Fatalf("RandomPos %v outside %+v", p1, n.Rect)
+		if !n.Region.ContainsProc(p1) {
+			t.Fatalf("RandomPos %v outside %+v", p1, n.Region)
 		}
 	}
 }
@@ -108,7 +111,8 @@ func TestRandomPosInSubmesh(t *testing.T) {
 // expected parent-child mesh distance is smaller than under the fully
 // random embedding.
 func TestModularEmbeddingShortensPaths(t *testing.T) {
-	tr := Build(mesh.New(16, 16), Ary2)
+	m := mesh.New(16, 16)
+	tr := Build(m, Ary2)
 	rng := xrand.New(99)
 	var modular, random float64
 	count := 0
@@ -120,12 +124,8 @@ func TestModularEmbeddingShortensPaths(t *testing.T) {
 			if n.Parent == -1 {
 				continue
 			}
-			pm := pos[id]
-			pp := pos[n.Parent]
-			modular += float64(abs(pm.Row-pp.Row) + abs(pm.Col-pp.Col))
-			rm := tr.RandomPos(seed, id)
-			rp := tr.RandomPos(seed, n.Parent)
-			random += float64(abs(rm.Row-rp.Row) + abs(rm.Col-rp.Col))
+			modular += float64(m.Dist(pos[id], pos[n.Parent]))
+			random += float64(m.Dist(tr.RandomPos(seed, id), tr.RandomPos(seed, n.Parent)))
 			count++
 		}
 	}
@@ -135,9 +135,28 @@ func TestModularEmbeddingShortensPaths(t *testing.T) {
 	}
 }
 
-func abs(x int) int {
-	if x < 0 {
-		return -x
+// TestNonGridEmbedding: on non-grid topologies (hypercube, fat-tree) the
+// span regions keep every embedding inside its region and pin leaves to
+// their processors.
+func TestNonGridEmbedding(t *testing.T) {
+	for _, topo := range []mesh.Topology{mesh.NewHypercube(5), mesh.NewFatTree(5)} {
+		for _, spec := range []Spec{Ary2, Ary4, Ary4K8} {
+			tr := Build(topo, spec)
+			rng := xrand.New(23)
+			for trial := 0; trial < 10; trial++ {
+				pos := tr.EmbedAll(tr.RandomRoot(rng))
+				for id, n := range tr.Nodes {
+					if !n.Region.ContainsProc(pos[id]) {
+						t.Fatalf("%s/%s: node %d at %d outside %+v",
+							topo, spec.Name(), id, pos[id], n.Region)
+					}
+				}
+				for li, nid := range tr.Leaves {
+					if pos[nid] != tr.ProcOfLeaf[li] {
+						t.Fatalf("%s/%s: leaf %d not pinned", topo, spec.Name(), nid)
+					}
+				}
+			}
+		}
 	}
-	return x
 }

@@ -183,6 +183,54 @@ func TestRunAllQuickFast(t *testing.T) {
 	}
 }
 
+// TestTopologiesSweepDeterministic: the cross-topology sweep must emit
+// byte-identical output whether its cells run sequentially or fanned out
+// across the worker pool, and the quick-mode output at the canonical seed
+// is pinned by a golden fingerprint: a change here means the simulated
+// cross-topology results changed, not just the formatting.
+func TestTopologiesSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-topology barnes-hut sweep in short mode")
+	}
+	var seq bytes.Buffer
+	rs := New(&seq, true, 1999)
+	if err := rs.Run("topologies"); err != nil {
+		t.Fatal(err)
+	}
+	var par bytes.Buffer
+	rp := New(&par, true, 1999)
+	rp.Workers = 4
+	if err := rp.Run("topologies"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel sweep output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+			seq.String(), par.String())
+	}
+	out := seq.String()
+	for _, want := range []string{"4x4 mesh", "4x4 torus", "4-cube", "depth-4 fat-tree", "fixed home", "2-ary AT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+	// Golden fingerprint of the quick-mode sweep at seed 1999 (FNV-1a).
+	const golden = uint64(0x8a4b5d10c2f40df9)
+	if got := fnv1a(seq.Bytes()); got != golden {
+		t.Errorf("sweep output fingerprint = %#x, want %#x (simulated results changed)", got, golden)
+	}
+}
+
+// fnv1a is the 64-bit FNV-1a hash (inlined to keep the golden value
+// self-contained).
+func fnv1a(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
 // TestAblationEmbeddingShape: the modular embedding must not be slower
 // than the fully random one (it shortens expected tree-edge routes).
 func TestAblationEmbeddingShape(t *testing.T) {

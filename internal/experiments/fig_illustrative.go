@@ -32,8 +32,9 @@ func (r *Runner) Fig1() error {
 			// A node "covers" this level if it is at the level, or it is a
 			// leaf above it.
 			if effLevel == level || (n.Leaf() && effLevel < level) {
-				for row := n.Rect.R0; row < n.Rect.R0+n.Rect.Rows; row++ {
-					for col := n.Rect.C0; col < n.Rect.C0+n.Rect.Cols; col++ {
+				rect := n.Region.(decomp.Rect)
+				for row := rect.R0; row < rect.R0+rect.Rows; row++ {
+					for col := rect.C0; col < rect.C0+rect.Cols; col++ {
 						label[m.ID(mesh.Coord{Row: row, Col: col})] = idx
 					}
 				}
@@ -63,7 +64,8 @@ func (r *Runner) Fig2() error {
 	}
 	for _, s := range []strategyUnderTest{fhStrategy(), atStrategy(decomp.Ary4)} {
 		m := r.machine(side, side, s.fact, s.spec)
-		owner := m.Mesh.ID(mesh.Coord{Row: side / 2, Col: side / 2})
+		mm, _ := m.MeshTopo()
+		owner := mm.ID(mesh.Coord{Row: side / 2, Col: side / 2})
 		v := m.AllocAt(owner, 4096, "block")
 		err := m.Run(func(p *core.Proc) {
 			if p.ID/side == side/2 { // the owner's row reads the block
@@ -76,7 +78,7 @@ func (r *Runner) Fig2() error {
 		c := m.Net.Congestion(nil)
 		fmt.Fprintf(r.W, "\n%s: congestion %d bytes, total load %d bytes\n",
 			s.name, c.MaxBytes, c.TotalBytes)
-		fmt.Fprint(r.W, metrics.HeatmapMsgs(m.Mesh, m.Net.Loads(), nil))
+		fmt.Fprint(r.W, metrics.HeatmapMsgs(mm, m.Net.Loads(), nil))
 	}
 	fmt.Fprintln(r.W, "\n(width of a line in the paper's figure = bytes over the link;")
 	fmt.Fprintln(r.W, "digits above are deciles of the busiest link's load)")

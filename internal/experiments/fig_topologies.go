@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"diva/internal/apps/barneshut"
+	"diva/internal/core"
+	"diva/internal/mesh"
+	"diva/internal/metrics"
+)
+
+// This file implements the cross-topology strategy sweep ("topologies"):
+// the Figure-8-style Barnes-Hut strategy comparison repeated on every
+// network topology at a matched processor count. The paper evaluates its
+// provably good strategy only on the 2D mesh of the Parsytec GCel; the
+// strategy itself is defined for arbitrary networks via hierarchical
+// decomposition, and this sweep asks how the strategy ranking transfers
+// to richer interconnects (torus, hypercube, fat-tree).
+
+// topoSweepSet returns the topologies of the sweep at matched processor
+// counts (quick: 16, full: 64).
+func topoSweepSet(quick bool) []mesh.Topology {
+	if quick {
+		return []mesh.Topology{
+			mesh.New(4, 4),
+			mesh.NewTorus(4, 4),
+			mesh.NewHypercube(4),
+			mesh.NewFatTree(4),
+		}
+	}
+	return []mesh.Topology{
+		mesh.New(8, 8),
+		mesh.NewTorus(8, 8),
+		mesh.NewHypercube(6),
+		mesh.NewFatTree(6),
+	}
+}
+
+// topoCell is one (topology, strategy) measurement of the sweep.
+type topoCell struct {
+	cong  uint64  // max messages over any link, measured steps
+	time  float64 // simulated time of the measured steps, us
+	total uint64  // total messages over all links
+}
+
+// runTopoCell runs the Barnes-Hut workload for one sweep cell.
+func (r *Runner) runTopoCell(topo mesh.Topology, s strategyUnderTest, n, steps int, concurrent bool) (topoCell, error) {
+	m := core.NewMachine(core.Config{
+		Topology:   topo,
+		Seed:       r.Seed,
+		Tree:       s.spec,
+		Strategy:   s.fact,
+		Concurrent: concurrent,
+	})
+	col := metrics.New(m.Net)
+	_, err := barneshut.Run(m, barneshut.Config{
+		N: n, Steps: steps, MeasureFrom: 2, Seed: r.Seed, WithCompute: true,
+	}, col)
+	if err != nil {
+		return topoCell{}, err
+	}
+	tot := col.Total()
+	return topoCell{cong: tot.Cong.MaxMsgs, time: tot.TimeUS, total: tot.Cong.TotalMsgs}, nil
+}
+
+// FigTopologies produces the "topologies" figure. The (topology, strategy)
+// cells are independent simulations, so they fan out across the runner's
+// worker pool like whole figures do; the assembled output is byte-identical
+// to a sequential run.
+func (r *Runner) FigTopologies() error {
+	topos := topoSweepSet(r.Quick)
+	strategies := bhStrategies()
+	n, steps := 4000, 7
+	if r.Quick {
+		n, steps = 600, 4
+	}
+	r.header(fmt.Sprintf("Topologies: Barnes-Hut strategy sweep across networks (P=%d, N=%d)", topos[0].N(), n))
+
+	// The network structures under comparison.
+	rows := [][]string{{"topology", "procs", "nodes", "links", "diameter", "bisection"}}
+	for _, tp := range topos {
+		links := 0
+		tp.ForEachLink(func(_, _, _ int) { links++ })
+		rows = append(rows, []string{
+			tp.String(), fmt.Sprint(tp.N()), fmt.Sprint(tp.Nodes()),
+			fmt.Sprint(links), fmt.Sprint(tp.Diameter()), fmt.Sprint(tp.Bisection()),
+		})
+	}
+	table(r.W, rows)
+
+	// Run the sweep: cells are independent, so fan them out when the
+	// runner has workers (each machine is marked Concurrent to keep the
+	// per-kernel GOMAXPROCS pin off).
+	cells := make([]topoCell, len(topos)*len(strategies))
+	errs := make([]error, len(cells))
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	concurrent := r.concurrent || workers > 1
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ti := range topos {
+		for si := range strategies {
+			wg.Add(1)
+			go func(ti, si int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				idx := ti*len(strategies) + si
+				cells[idx], errs[idx] = r.runTopoCell(topos[ti], strategies[si], n, steps, concurrent)
+			}(ti, si)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, metric := range []struct {
+		name string
+		get  func(topoCell) string
+	}{
+		{"congestion (messages on the busiest link)", func(c topoCell) string { return fmt.Sprint(c.cong) }},
+		{"execution time (seconds)", func(c topoCell) string { return f1(c.time / 1e6) }},
+		{"total load (1000 messages)", func(c topoCell) string { return f1(float64(c.total) / 1000) }},
+	} {
+		fmt.Fprintf(r.W, "\n%s:\n", metric.name)
+		rows = [][]string{{"topology"}}
+		for _, s := range strategies {
+			rows[0] = append(rows[0], s.name)
+		}
+		for ti, tp := range topos {
+			row := []string{tp.String()}
+			for si := range strategies {
+				row = append(row, metric.get(cells[ti*len(strategies)+si]))
+			}
+			rows = append(rows, row)
+		}
+		table(r.W, rows)
+	}
+
+	// How much the access tree buys over the fixed home on each network.
+	fmt.Fprintln(r.W, "\naccess tree advantage (4-ary AT / fixed home):")
+	rows = [][]string{{"topology", "congestion", "time"}}
+	fhIdx, atIdx := -1, -1
+	for i, s := range strategies {
+		switch s.name {
+		case "fixed home":
+			fhIdx = i
+		case "4-ary AT":
+			atIdx = i
+		}
+	}
+	if fhIdx < 0 || atIdx < 0 {
+		return fmt.Errorf("topologies: strategy set lost %q or %q", "fixed home", "4-ary AT")
+	}
+	for ti, tp := range topos {
+		fh := cells[ti*len(strategies)+fhIdx]
+		at := cells[ti*len(strategies)+atIdx]
+		rows = append(rows, []string{
+			tp.String(),
+			pct(float64(at.cong) / float64(fh.cong)),
+			pct(at.time / fh.time),
+		})
+	}
+	table(r.W, rows)
+	fmt.Fprintln(r.W, "\nThe strategy is defined for arbitrary networks via hierarchical")
+	fmt.Fprintln(r.W, "decomposition (§2); the paper evaluates it on the mesh only. Across")
+	fmt.Fprintln(r.W, "topologies the access trees cut the total communication load well below")
+	fmt.Fprintln(r.W, "the fixed home everywhere; the congestion gain is largest where routes")
+	fmt.Fprintln(r.W, "are long and cuts narrow (mesh), and flattens on networks whose extra")
+	fmt.Fprintln(r.W, "capacity already absorbs the fixed home's hotspot (torus, fat-tree).")
+	return nil
+}

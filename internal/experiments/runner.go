@@ -3,7 +3,9 @@
 // bitonic sorting ratio studies (Figures 6 and 7), the Barnes-Hut curves
 // (Figures 8, 9, 10), the Barnes-Hut scaling study (Figure 11), and the
 // illustrative Figures 1, 2 and 5. Each figure prints the measured series
-// next to the values reported in the paper.
+// next to the values reported in the paper. Beyond the paper, the
+// "topologies" sweep repeats the Figure-8 strategy comparison on the
+// torus, hypercube and fat-tree at matched processor counts.
 //
 // Absolute times depend on the simulated machine's constants; the paper's
 // qualitative shape — who wins, by what factor, how ratios scale with
@@ -50,6 +52,7 @@ func New(w io.Writer, quick bool, seed uint64) *Runner {
 
 // Figures lists the available experiment names in order.
 var Figures = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11",
+	"topologies",
 	"ablation-embed", "ablation-arity", "ablation-remap", "ablation-replacement"}
 
 // Run executes one figure by name.
@@ -77,6 +80,8 @@ func (r *Runner) Run(name string) error {
 		return r.Fig10()
 	case "11":
 		return r.Fig11()
+	case "topologies":
+		return r.FigTopologies()
 	case "ablation-embed":
 		return r.AblationEmbedding()
 	case "ablation-arity":

@@ -1,0 +1,128 @@
+package mesh
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// FatTree is a binary fat-tree of height H: N = 2^H processors ("hosts")
+// sit at the leaves of a complete binary tree of switches, and the link
+// capacity doubles toward the root — the edge between a switch whose
+// subtree holds m hosts and its parent consists of m parallel links, so
+// the tree has full bisection capacity. Switches are pure routing
+// elements: they forward traffic but host no processor (Nodes() > N()).
+//
+// Node ids: hosts are 0..N-1 (left to right); switch s at level ℓ
+// (root = level 0, leaf switches = level H-1) has id N + (2^ℓ - 1) + s.
+//
+// Routing goes up from the source host to the lowest common ancestor
+// switch and down to the destination. Among the m parallel links of an
+// up-edge the route picks link `src mod m`, and on a down-edge link
+// `dst mod m` — the deterministic d-mod-k rule used by real fat-tree
+// fabrics, which spreads distinct flows across the parallel links without
+// randomness.
+type FatTree struct {
+	H int
+}
+
+// NewFatTree returns a binary fat-tree with 2^h hosts. It panics on
+// negative heights or trees whose id space would overflow.
+func NewFatTree(h int) FatTree {
+	if h < 0 || h > 24 {
+		panic(fmt.Sprintf("mesh: invalid fat-tree height %d", h))
+	}
+	return FatTree{H: h}
+}
+
+// N returns the number of processors (hosts).
+func (ft FatTree) N() int { return 1 << ft.H }
+
+// Nodes implements Topology: hosts plus the 2^H - 1 switches.
+func (ft FatTree) Nodes() int { return 2*ft.N() - 1 }
+
+// switchID returns the node id of switch s at level level.
+func (ft FatTree) switchID(level, s int) int { return ft.N() + (1 << level) - 1 + s }
+
+// NumLinks implements Topology. Each of the H link levels (host links plus
+// the H-1 switch levels) carries N up-links and N down-links: level ℓ has
+// 2^ℓ up-edges of multiplicity 2^(H-ℓ) each.
+func (ft FatTree) NumLinks() int { return 2 * ft.N() * ft.H }
+
+// levelBase returns the id of the first up-link of switch level ℓ
+// (1 ≤ ℓ ≤ H-1); the level's down-links follow its up-links. Host links
+// occupy [0, 2N): up-link of host u is u, down-link to host v is N + v.
+func (ft FatTree) levelBase(level int) int { return 2*ft.N() + (level-1)*2*ft.N() }
+
+// lcaLevel returns the level of the lowest common ancestor switch of
+// hosts a != b.
+func (ft FatTree) lcaLevel(a, b int) int { return ft.H - bits.Len(uint(a^b)) }
+
+// Dist implements Topology: up to the LCA and down again.
+func (ft FatTree) Dist(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 2 * (ft.H - ft.lcaLevel(a, b))
+}
+
+// Diameter implements Topology: via the root.
+func (ft FatTree) Diameter() int { return 2 * ft.H }
+
+// Bisection implements Topology: the halving cut separates the two
+// root subtrees; all N/2 parallel links of one root edge cross it.
+func (ft FatTree) Bisection() int {
+	if ft.H == 0 {
+		return 0
+	}
+	return ft.N() / 2
+}
+
+// AppendRoute implements Topology: up with src-mod-m link selection, down
+// with dst-mod-m.
+func (ft FatTree) AppendRoute(buf []int, a, b int) []int {
+	if a == b {
+		return buf
+	}
+	lca := ft.lcaLevel(a, b)
+	buf = append(buf, a) // host up-link
+	for level := ft.H - 1; level > lca; level-- {
+		m := 1 << (ft.H - level) // parallel links of this up-edge
+		s := a >> (ft.H - level) // the switch whose subtree holds a
+		buf = append(buf, ft.levelBase(level)+s*m+(a&(m-1)))
+	}
+	for level := lca + 1; level <= ft.H-1; level++ {
+		m := 1 << (ft.H - level)
+		s := b >> (ft.H - level)
+		buf = append(buf, ft.levelBase(level)+ft.N()+s*m+(b&(m-1)))
+	}
+	return append(buf, ft.N()+b) // host down-link
+}
+
+// ForEachLink implements Topology.
+func (ft FatTree) ForEachLink(f func(link, from, to int)) {
+	n := ft.N()
+	for u := 0; u < n && ft.H > 0; u++ {
+		leaf := ft.switchID(ft.H-1, u/2)
+		f(u, u, leaf)
+		f(n+u, leaf, u)
+	}
+	for level := 1; level <= ft.H-1; level++ {
+		m := 1 << (ft.H - level)
+		base := ft.levelBase(level)
+		for s := 0; s < 1<<level; s++ {
+			child := ft.switchID(level, s)
+			parent := ft.switchID(level-1, s/2)
+			for k := 0; k < m; k++ {
+				f(base+s*m+k, child, parent)
+				f(base+n+s*m+k, parent, child)
+			}
+		}
+	}
+}
+
+// Grid implements Topology: the fat-tree decomposes over its host id
+// space (halving a host range follows the switch hierarchy exactly).
+func (ft FatTree) Grid() (rows, cols int, ok bool) { return 0, 0, false }
+
+// String implements fmt.Stringer.
+func (ft FatTree) String() string { return fmt.Sprintf("depth-%d fat-tree", ft.H) }

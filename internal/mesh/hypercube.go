@@ -1,0 +1,83 @@
+package mesh
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube is a d-dimensional binary hypercube: N = 2^d processors, node
+// ids are bit strings, and two nodes are linked iff their ids differ in
+// exactly one bit.
+//
+// Routing is e-cube (dimension-order) routing: differing bits are fixed
+// from the lowest to the highest dimension, which yields a unique,
+// deterministic shortest path — the hypercube analogue of the mesh's
+// dimension-order routing.
+type Hypercube struct {
+	Dim int
+}
+
+// NewHypercube returns a hypercube of the given dimension (N = 2^dim). It
+// panics on negative dimensions or cubes whose id space would overflow.
+func NewHypercube(dim int) Hypercube {
+	if dim < 0 || dim > 30 {
+		panic(fmt.Sprintf("mesh: invalid hypercube dimension %d", dim))
+	}
+	return Hypercube{Dim: dim}
+}
+
+// N returns the number of nodes.
+func (h Hypercube) N() int { return 1 << h.Dim }
+
+// Nodes implements Topology: every hypercube node hosts a processor.
+func (h Hypercube) Nodes() int { return h.N() }
+
+// NumLinks implements Topology: each node has one link per dimension.
+func (h Hypercube) NumLinks() int { return h.N() * h.Dim }
+
+// LinkID returns the directed link leaving node along dimension bit.
+func (h Hypercube) LinkID(node, bit int) int { return node*h.Dim + bit }
+
+// Dist implements Topology: the Hamming distance.
+func (h Hypercube) Dist(a, b int) int { return bits.OnesCount(uint(a ^ b)) }
+
+// Diameter implements Topology: all bits differ.
+func (h Hypercube) Diameter() int { return h.Dim }
+
+// Bisection implements Topology: the halving cut fixes the highest
+// dimension; every node of one half has exactly one link into the other.
+func (h Hypercube) Bisection() int {
+	if h.Dim == 0 {
+		return 0
+	}
+	return h.N() / 2
+}
+
+// AppendRoute implements Topology: e-cube routing, lowest dimension first.
+func (h Hypercube) AppendRoute(buf []int, a, b int) []int {
+	cur := a
+	for bit := 0; bit < h.Dim; bit++ {
+		if (cur^b)&(1<<bit) != 0 {
+			buf = append(buf, h.LinkID(cur, bit))
+			cur ^= 1 << bit
+		}
+	}
+	return buf
+}
+
+// ForEachLink implements Topology.
+func (h Hypercube) ForEachLink(f func(link, from, to int)) {
+	for n := 0; n < h.N(); n++ {
+		for bit := 0; bit < h.Dim; bit++ {
+			f(h.LinkID(n, bit), n, n^(1<<bit))
+		}
+	}
+}
+
+// Grid implements Topology: the hypercube decomposes over its id space
+// (halving a 2^k id range fixes the range's highest bit, so every
+// decomposition region is a subcube).
+func (h Hypercube) Grid() (rows, cols int, ok bool) { return 0, 0, false }
+
+// String implements fmt.Stringer.
+func (h Hypercube) String() string { return fmt.Sprintf("%d-cube", h.Dim) }

@@ -1,11 +1,13 @@
-// Package mesh models a 2-dimensional mesh-connected parallel machine in
-// the style of the Parsytec GCel used in the paper: wormhole
-// dimension-order routing, per-link bandwidth, per-message startup cost, and
-// per-link congestion accounting (both message counts and bytes).
+// Package mesh models the interconnect of a simulated parallel machine:
+// wormhole routing with per-link bandwidth, per-message startup cost, and
+// per-link congestion accounting (both message counts and bytes), over a
+// pluggable network Topology.
 //
-// The mesh is the only network topology implemented, matching the paper's
-// experimental platform; the routing and accounting layers are written so
-// that other hierarchically decomposable topologies could be added.
+// The 2-dimensional mesh below models the Parsytec GCel used in the paper
+// (dimension-order wormhole routing); Torus, Hypercube and FatTree extend
+// the evaluation to other hierarchically decomposable networks. All four
+// share the Network simulation layer and the deterministic-routing
+// contract the Topology interface documents.
 package mesh
 
 import "fmt"
@@ -147,29 +149,65 @@ func (m Mesh) Neighbor(node int, d Dir) int {
 // dimension 2 (rows / Y) — the unique shortest path the GCel wormhole
 // router uses. a == b yields an empty path.
 func (m Mesh) PathLinks(a, b int) []int {
-	ca, cb := m.CoordOf(a), m.CoordOf(b)
-	links := make([]int, 0, abs(ca.Col-cb.Col)+abs(ca.Row-cb.Row))
-	cur := ca
-	for cur.Col != cb.Col {
+	return m.AppendRoute(make([]int, 0, m.Dist(a, b)), a, b)
+}
+
+// AppendRoute implements Topology: the dimension-order path, columns
+// before rows.
+func (m Mesh) AppendRoute(buf []int, a, b int) []int {
+	cur, dst := m.CoordOf(a), m.CoordOf(b)
+	for cur.Col != dst.Col {
 		d := East
-		if cb.Col < cur.Col {
+		if dst.Col < cur.Col {
 			d = West
 		}
 		node := m.ID(cur)
-		links = append(links, m.LinkID(node, d))
+		buf = append(buf, m.LinkID(node, d))
 		cur = m.CoordOf(m.Neighbor(node, d))
 	}
-	for cur.Row != cb.Row {
+	for cur.Row != dst.Row {
 		d := South
-		if cb.Row < cur.Row {
+		if dst.Row < cur.Row {
 			d = North
 		}
 		node := m.ID(cur)
-		links = append(links, m.LinkID(node, d))
+		buf = append(buf, m.LinkID(node, d))
 		cur = m.CoordOf(m.Neighbor(node, d))
 	}
-	return links
+	return buf
 }
+
+// Nodes implements Topology: every mesh node hosts a processor.
+func (m Mesh) Nodes() int { return m.N() }
+
+// Diameter implements Topology: corner to opposite corner.
+func (m Mesh) Diameter() int { return m.Rows + m.Cols - 2 }
+
+// Bisection implements Topology: the halving cut splits the longer side,
+// crossing one link per line of the shorter side.
+func (m Mesh) Bisection() int {
+	if m.N() == 1 {
+		return 0
+	}
+	if m.Rows >= m.Cols {
+		return m.Cols
+	}
+	return m.Rows
+}
+
+// ForEachLink implements Topology.
+func (m Mesh) ForEachLink(f func(link, from, to int)) {
+	for n := 0; n < m.N(); n++ {
+		for d := East; d < numDirs; d++ {
+			if m.HasLink(n, d) {
+				f(m.LinkID(n, d), n, m.Neighbor(n, d))
+			}
+		}
+	}
+}
+
+// Grid implements Topology: the mesh is its own grid layout.
+func (m Mesh) Grid() (rows, cols int, ok bool) { return m.Rows, m.Cols, true }
 
 // PathNodes returns the node sequence of the dimension-order path from a to
 // b, inclusive of both endpoints.

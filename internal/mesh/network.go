@@ -81,11 +81,12 @@ type link struct {
 // complete futures.
 type Handler func(*Msg)
 
-// Network simulates the mesh interconnect: routing, contention, congestion
-// accounting, per-node CPU/startup accounting and message dispatch.
+// Network simulates the interconnect of any Topology: routing, contention,
+// congestion accounting, per-node CPU/startup accounting and message
+// dispatch.
 type Network struct {
 	K *sim.Kernel
-	M Mesh
+	T Topology
 	P Params
 
 	links    []link
@@ -109,21 +110,30 @@ type Network struct {
 	// freeMsgs is the Msg free list (the simulation is single-threaded, so
 	// a plain slice does what sync.Pool would, without the overhead).
 	freeMsgs []*Msg
+
+	// routeBuf/startBuf are the reusable route buffers of the delivery hot
+	// path, sized once from the topology's diameter (no route is longer).
+	// route() fully consumes them within one call and the simulation is
+	// single-threaded per kernel, so reuse across messages is safe.
+	routeBuf []int
+	startBuf []sim.Time
 }
 
-// NewNetwork creates a network over mesh m using kernel k.
-func NewNetwork(k *sim.Kernel, m Mesh, p Params) *Network {
+// NewNetwork creates a network over topology t using kernel k.
+func NewNetwork(k *sim.Kernel, t Topology, p Params) *Network {
 	if p.BytesPerUS <= 0 {
 		panic("mesh: BytesPerUS must be positive")
 	}
 	nw := &Network{
 		K:         k,
-		M:         m,
+		T:         t,
 		P:         p,
-		links:     make([]link, m.NumLinks()),
-		cpuFree:   make([]sim.Time, m.N()),
-		computeUS: make([]float64, m.N()),
-		inboxes:   make([]nodeInbox, m.N()),
+		links:     make([]link, t.NumLinks()),
+		cpuFree:   make([]sim.Time, t.N()),
+		computeUS: make([]float64, t.N()),
+		inboxes:   make([]nodeInbox, t.N()),
+		routeBuf:  make([]int, 0, t.Diameter()+1),
+		startBuf:  make([]sim.Time, 0, t.Diameter()+1),
 	}
 	nw.handlers[KindInbox] = nw.deliverInbox
 	nw.arriveFn = nw.msgArrive
@@ -252,51 +262,27 @@ func (nw *Network) msgReady(x interface{}) {
 	}
 }
 
-// route models wormhole transmission of m along the dimension-order path:
-// the head acquires each link no earlier than the link is free and the
-// tail arrives one message duration after the head clears the last link.
-// With backpressure (the default), every link of the path is held until
-// the tail has drained through the last link, so blocking propagates
-// upstream as in a real wormhole network; without it each link is held
-// for one message duration independently. Congestion counters are bumped
-// for every traversed link. Returns the arrival time at the destination.
+// route models wormhole transmission of m along the topology's
+// deterministic shortest path: the head acquires each link no earlier
+// than the link is free and the tail arrives one message duration after
+// the head clears the last link. With backpressure (the default), every
+// link of the path is held until the tail has drained through the last
+// link, so blocking propagates upstream as in a real wormhole network;
+// without it each link is held for one message duration independently.
+// Congestion counters are bumped for every traversed link. Returns the
+// arrival time at the destination.
 func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 	if m.Src == m.Dst {
 		return depart + nw.P.LocalDeliveryUS
 	}
 	dur := float64(m.Size) / nw.P.BytesPerUS
 	t := depart
-	// Walk the dimension-order path without allocating (routing runs for
-	// every message; mesh paths are at most rows+cols links long). The
-	// fixed buffers cover every mesh with rows+cols <= 128 — up to the
-	// paper's largest machines and far beyond; larger meshes fall back to
-	// heap-allocated path buffers sized by the exact Manhattan distance.
-	var pathBuf [128]int
-	var startBuf [128]sim.Time
-	path := pathBuf[:0]
-	starts := startBuf[:0]
-	if need := nw.M.Dist(m.Src, m.Dst); need > len(pathBuf) {
-		path = make([]int, 0, need)
-		starts = make([]sim.Time, 0, need)
-	}
-	cur := nw.M.CoordOf(m.Src)
-	dst := nw.M.CoordOf(m.Dst)
-	for cur.Col != dst.Col {
-		d := East
-		if dst.Col < cur.Col {
-			d = West
-		}
-		path = append(path, nw.M.LinkID(nw.M.ID(cur), d))
-		cur = nw.M.CoordOf(nw.M.Neighbor(nw.M.ID(cur), d))
-	}
-	for cur.Row != dst.Row {
-		d := South
-		if dst.Row < cur.Row {
-			d = North
-		}
-		path = append(path, nw.M.LinkID(nw.M.ID(cur), d))
-		cur = nw.M.CoordOf(nw.M.Neighbor(nw.M.ID(cur), d))
-	}
+	// Walk the path without allocating (routing runs for every message):
+	// the network's persistent buffers hold any route of the topology —
+	// their capacity is derived from the diameter at construction, so
+	// the old "rows+cols > 128" stack-buffer fallback is gone entirely.
+	path := nw.T.AppendRoute(nw.routeBuf[:0], m.Src, m.Dst)
+	starts := nw.startBuf[:0]
 	for _, li := range path {
 		l := &nw.links[li]
 		s := t

@@ -1,0 +1,63 @@
+package mesh
+
+import "fmt"
+
+// Topology abstracts the interconnect of the simulated machine: a set of
+// processor nodes (ids 0..N-1), directed links with stable integer ids, and
+// a deterministic shortest-path route between any two processors. The 2D
+// mesh of the paper's Parsytec GCel is one implementation; the torus,
+// hypercube and fat-tree open the strategy evaluation to other network
+// structures.
+//
+// The contract every implementation must satisfy:
+//
+//   - AppendRoute is a pure function of (a, b): the same pair always yields
+//     the same link sequence (deterministic routing, as on the GCel's
+//     wormhole router). The route's length equals Dist(a, b).
+//   - Link ids are dense enough to index a per-link table of NumLinks()
+//     entries; distinct directed links have distinct ids.
+//   - Some topologies (the fat-tree) route through pure switch elements
+//     that host no processor; Nodes() counts those too, N() does not.
+type Topology interface {
+	fmt.Stringer
+
+	// N returns the number of processor nodes.
+	N() int
+	// Nodes returns the number of network nodes including pure switch
+	// elements (== N() except for indirect topologies like the fat-tree).
+	Nodes() int
+	// NumLinks returns the size of the directed-link id space. Ids in
+	// [0, NumLinks()) may be sparse (unused border slots), but every link
+	// returned by AppendRoute or ForEachLink lies in the range.
+	NumLinks() int
+	// Dist returns the number of links on the deterministic route from a
+	// to b (0 iff a == b).
+	Dist(a, b int) int
+	// Diameter returns the maximum Dist over all processor pairs.
+	Diameter() int
+	// Bisection returns the one-directional link capacity across the
+	// canonical halving cut of the topology (the first split of its
+	// hierarchical decomposition): the number of directed links leading
+	// from one half to the other.
+	Bisection() int
+	// AppendRoute appends the directed link ids of the deterministic
+	// shortest path from a to b to buf and returns the extended slice.
+	// a == b appends nothing.
+	AppendRoute(buf []int, a, b int) []int
+	// ForEachLink calls f for every existing directed link (switch-level
+	// links included), identifying its endpoints by node id in [0, Nodes()).
+	ForEachLink(f func(link, from, to int))
+	// Grid reports the row/column dimensions of the topology's canonical
+	// 2D layout when the paper's rectangle decomposition applies (mesh,
+	// torus). Non-grid topologies return ok == false and are decomposed
+	// over their processor id space instead.
+	Grid() (rows, cols int, ok bool)
+}
+
+// Interface conformance of the concrete topologies.
+var (
+	_ Topology = Mesh{}
+	_ Topology = Torus{}
+	_ Topology = Hypercube{}
+	_ Topology = FatTree{}
+)
