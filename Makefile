@@ -1,9 +1,9 @@
 GO ?= go
 DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet fmt bench bench-check
+.PHONY: all build test vet fmt bench bench-check check-imports
 
-all: vet build test
+all: vet build test check-imports
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# check-imports fails if any example or command imports diva/internal/...:
+# the public façade (diva, diva/strategy, diva/topology, diva/experiments)
+# is their only supported dependency.
+check-imports:
+	@if grep -RnE '"diva/internal/[^"]*"' examples cmd; then \
+		echo "error: examples/ and cmd/ must use the public diva API, not diva/internal/..." >&2; \
+		exit 1; \
+	fi
+	@echo "check-imports: examples/ and cmd/ are clean"
 
 # bench runs every figure benchmark once and records ns/op plus all
 # reported simulated-result metrics as BENCH_<date>.json, keeping the perf

@@ -25,7 +25,7 @@ import (
 )
 
 func machine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: rows, Cols: cols, Seed: 1999, Tree: spec, Strategy: f,
 	})
 }
@@ -177,7 +177,7 @@ func benchTopoBarnesHut(b *testing.B, topo mesh.Topology) {
 	var cong uint64
 	var simTime float64
 	for i := 0; i < b.N; i++ {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Topology: topo, Seed: 1999, Tree: decomp.Ary4,
 			Strategy: accesstree.Factory(),
 		})
@@ -245,7 +245,7 @@ func benchBackpressure(b *testing.B, off bool) {
 	params.NoBackpressure = off
 	var lastTime float64
 	for i := 0; i < b.N; i++ {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 8, Cols: 8, Seed: 5, Tree: decomp.Ary4,
 			Net: params, Strategy: fixedhome.Factory(),
 		})

@@ -1,6 +1,9 @@
 // Command divasim runs a single application/strategy configuration on a
 // simulated machine and reports congestion and execution time — the
-// exploration tool behind the experiment harness.
+// exploration tool behind the experiment harness. It is built entirely on
+// the public diva API: the -strategy and -topology flags resolve through
+// the diva/strategy and diva/topology registries, and the applications run
+// through the diva.Workload interface.
 //
 // Examples:
 //
@@ -15,36 +18,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/bits"
 	"os"
 	"strconv"
 	"strings"
 
-	"diva/internal/apps/barneshut"
-	"diva/internal/apps/bitonic"
-	"diva/internal/apps/matmul"
-	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/core/fixedhome"
-	"diva/internal/decomp"
-	"diva/internal/mesh"
-	"diva/internal/metrics"
+	"diva"
+	"diva/strategy"
+	"diva/topology"
 )
-
-var strategies = map[string]struct {
-	fact core.Factory
-	spec decomp.Spec
-}{
-	"fixedhome": {fixedhome.Factory(), decomp.Ary4},
-	"at2":       {accesstree.Factory(), decomp.Ary2},
-	"at4":       {accesstree.Factory(), decomp.Ary4},
-	"at16":      {accesstree.Factory(), decomp.Ary16},
-	"at2k4":     {accesstree.Factory(), decomp.Ary2K4},
-	"at4k8":     {accesstree.Factory(), decomp.Ary4K8},
-	"at4k16":    {accesstree.Factory(), decomp.Ary4K16},
-	"atrandom":  {accesstree.FactoryOpts(accesstree.Options{RandomEmbedding: true}), decomp.Ary4},
-	"handopt":   {nil, decomp.Ary2},
-}
 
 func parseMesh(s string) (int, int, error) {
 	parts := strings.Split(s, "x")
@@ -65,34 +46,11 @@ func parseMesh(s string) (int, int, error) {
 	return r, c, nil
 }
 
-// buildTopology maps the -topology flag to a mesh.Topology over the -mesh
-// dimensions. The hypercube and fat-tree take their size from the node
-// count, which must be a power of two.
-func buildTopology(kind string, rows, cols int) (mesh.Topology, error) {
-	switch kind {
-	case "mesh":
-		return mesh.New(rows, cols), nil
-	case "torus":
-		return mesh.NewTorus(rows, cols), nil
-	case "hypercube", "fattree":
-		n := rows * cols
-		if n&(n-1) != 0 {
-			return nil, fmt.Errorf("%s needs a power-of-two node count, have %d", kind, n)
-		}
-		dim := bits.Len(uint(n)) - 1
-		if kind == "hypercube" {
-			return mesh.NewHypercube(dim), nil
-		}
-		return mesh.NewFatTree(dim), nil
-	}
-	return nil, fmt.Errorf("unknown topology %q (want mesh, torus, hypercube, fattree)", kind)
-}
-
 func main() {
 	app := flag.String("app", "matmul", "application: matmul, bitonic, barneshut")
-	strat := flag.String("strategy", "at4", "data management strategy: fixedhome, at2, at4, at16, at2k4, at4k8, at4k16, atrandom, handopt")
+	strat := flag.String("strategy", "at4", "data management strategy: "+strings.Join(strategy.Names(), ", ")+", or handopt")
 	meshFlag := flag.String("mesh", "8x8", "mesh dimensions ROWSxCOLS")
-	topoFlag := flag.String("topology", "mesh", "network topology: mesh, torus, hypercube, fattree (size from -mesh)")
+	topoFlag := flag.String("topology", "mesh", "network topology: "+strings.Join(topology.Names(), ", ")+" (size from -mesh)")
 	block := flag.Int("block", 1024, "matmul: block size in integers (perfect square)")
 	keys := flag.Int("keys", 4096, "bitonic: keys per processor")
 	bodies := flag.Int("bodies", 4000, "barneshut: number of bodies")
@@ -109,84 +67,81 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	sc, ok := strategies[*strat]
-	if !ok {
-		fail(fmt.Errorf("unknown strategy %q", *strat))
+
+	// "handopt" selects the hand-optimized message passing program of the
+	// application instead of a data management strategy; every other name
+	// resolves through the strategy registry.
+	handopt := *strat == "handopt"
+	opts := []diva.Option{
+		diva.WithTopologyName(*topoFlag, rows, cols),
+		diva.WithSeed(*seed),
+		diva.WithCacheCapacity(*capacity),
 	}
-	if sc.fact == nil && *app == "barneshut" {
-		fail(fmt.Errorf("barneshut has no hand-optimized strategy (see §3.3 of the paper)"))
+	if handopt {
+		opts = append(opts, diva.WithTree(diva.Ary2))
+	} else {
+		opts = append(opts, diva.WithStrategyName(*strat))
 	}
-	topo, err := buildTopology(*topoFlag, rows, cols)
+	m, err := diva.New(opts...)
 	if err != nil {
 		fail(err)
 	}
 
-	m := core.NewMachine(core.Config{
-		Topology: topo, Seed: *seed, Tree: sc.spec,
-		Strategy: sc.fact, CacheCapacity: *capacity,
-	})
-
-	var elapsed float64
-	var phases *metrics.Collector
+	var w diva.Workload
 	switch *app {
 	case "matmul":
-		cfg := matmul.Config{BlockInts: *block, WithCompute: *compute, OpUS: 3.45, Seed: *seed}
-		var res matmul.Result
-		if sc.fact == nil {
-			res, err = matmul.RunHandOpt(m, cfg)
+		cfg := diva.MatmulConfig{BlockInts: *block, WithCompute: *compute, OpUS: 3.45, Seed: *seed}
+		if handopt {
+			w = diva.MatmulHandOpt(cfg)
 		} else {
-			res, err = matmul.RunDSM(m, cfg)
+			w = diva.Matmul(cfg)
 		}
-		elapsed = res.ElapsedUS
 	case "bitonic":
-		cfg := bitonic.Config{KeysPerProc: *keys, WithCompute: *compute, CompareUS: 1.0, Seed: *seed}
-		var res bitonic.Result
-		if sc.fact == nil {
-			res, err = bitonic.RunHandOpt(m, cfg)
+		cfg := diva.BitonicConfig{KeysPerProc: *keys, WithCompute: *compute, CompareUS: 1.0, Seed: *seed}
+		if handopt {
+			w = diva.BitonicHandOpt(cfg)
 		} else {
-			res, err = bitonic.RunDSM(m, cfg)
+			w = diva.Bitonic(cfg)
 		}
-		elapsed = res.ElapsedUS
 	case "barneshut":
-		phases = metrics.New(m.Net)
-		var res barneshut.Result
-		res, err = barneshut.Run(m, barneshut.Config{
+		if handopt {
+			fail(fmt.Errorf("barneshut has no hand-optimized strategy (see §3.3 of the paper)"))
+		}
+		w = diva.BarnesHut(diva.BarnesHutConfig{
 			N: *bodies, Steps: *steps, MeasureFrom: *measure,
 			Seed: *seed, WithCompute: true,
-		}, phases)
-		elapsed = res.ElapsedUS
+		})
 	default:
-		err = fmt.Errorf("unknown application %q", *app)
+		fail(fmt.Errorf("unknown application %q", *app))
 	}
+
+	col := diva.NewCollector(m)
+	res, err := w.Run(m, col)
 	if err != nil {
 		fail(err)
 	}
 
 	name := "hand-optimized"
-	if sc.fact != nil {
+	if m.Strat != nil {
 		name = m.Strat.Name()
 	}
 	fmt.Printf("application:  %s on %s\n", *app, m.Topo)
 	fmt.Printf("strategy:     %s\n", name)
-	fmt.Printf("elapsed:      %.1f ms (simulated)\n", elapsed/1000)
+	fmt.Printf("elapsed:      %.1f ms (simulated)\n", res.ElapsedUS/1000)
 	c := m.Net.Congestion(nil)
 	fmt.Printf("congestion:   %d messages / %d bytes on the busiest link\n", c.MaxMsgs, c.MaxBytes)
 	fmt.Printf("total load:   %d messages / %d bytes\n", c.TotalMsgs, c.TotalBytes)
-	if phases != nil && phases.Enabled() {
+	if col.Enabled() {
 		fmt.Printf("\nmeasured steps (from step %d):\n", *measure)
-		tot := phases.Total()
+		tot := col.Total()
 		fmt.Printf("  total: time %.1f ms, congestion %d msgs\n", tot.TimeUS/1000, tot.Cong.MaxMsgs)
-		for _, ph := range phases.PhaseNames() {
-			res, _ := phases.Phase(ph)
+		for _, ph := range col.PhaseNames() {
+			r, _ := col.Phase(ph)
 			fmt.Printf("  %-10s time %10.1f ms, congestion %8d msgs, compute %8.1f ms\n",
-				ph, res.TimeUS/1000, res.Cong.MaxMsgs, res.MaxComputeUS/1000)
+				ph, r.TimeUS/1000, r.Cong.MaxMsgs, r.MaxComputeUS/1000)
 		}
 	}
-	ev := uint64(0)
-	for n := 0; n < m.P(); n++ {
-		ev += m.Cache(n).Evictions()
-	}
-	if ev > 0 {
+	if ev := diva.TotalEvictions(m); ev > 0 {
 		fmt.Printf("replacements: %d copies evicted (capacity %d bytes/node)\n", ev, *capacity)
 	}
 	if *verbose {
@@ -199,14 +154,15 @@ func main() {
 		}
 	}
 	if *heatmap {
-		mm, isMesh := m.MeshTopo()
+		hm, isMesh := diva.LinkHeatmap(m)
 		if !isMesh {
 			fail(fmt.Errorf("-heatmap is mesh-specific, topology is %s", m.Topo))
 		}
 		fmt.Println("\nhorizontal link load (deciles of the busiest link):")
-		fmt.Print(metrics.HeatmapMsgs(mm, m.Net.Loads(), nil))
+		fmt.Print(hm)
 		fmt.Println("\nbusiest links:")
-		for _, l := range metrics.TopLinks(mm, m.Net.Loads(), 8) {
+		top, _ := diva.BusiestLinks(m, 8)
+		for _, l := range top {
 			fmt.Println(" ", l)
 		}
 	}

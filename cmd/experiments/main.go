@@ -20,11 +20,11 @@ import (
 	"runtime"
 	"strings"
 
-	"diva/internal/experiments"
+	"diva/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(experiments.Figures, ", ")+", or all")
+	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(experiments.Figures(), ", ")+", or all")
 	quick := flag.Bool("quick", false, "scaled-down inputs (seconds instead of tens of minutes)")
 	seed := flag.Uint64("seed", 1999, "random seed (1999: the year of the paper)")
 	workers := flag.Int("workers", 1, "number of figures to run concurrently (0: one per CPU)")

@@ -36,7 +36,7 @@ type detRun struct {
 // runMatmulDet runs the 8x8 matmul workload used as determinism probe.
 func runMatmulDet(t *testing.T, f core.Factory) detRun {
 	t.Helper()
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 8, Cols: 8, Seed: 1999, Tree: decomp.Ary4, Strategy: f,
 	})
 	res, err := matmul.RunDSM(m, matmul.Config{BlockInts: 256, Seed: 1})
@@ -101,7 +101,7 @@ func TestGoldenSeedValues(t *testing.T) {
 // TestGoldenBarnesHut pins the Barnes-Hut workload (the paper's — and the
 // profile's — main driver) to its seed-captured trajectory.
 func TestGoldenBarnesHut(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 4, Cols: 4, Seed: 1999, Tree: decomp.Ary4,
 		Strategy: accesstree.Factory(),
 	})

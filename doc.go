@@ -1,25 +1,63 @@
-// Package diva is the root of a reproduction of "Data Management in
+// Package diva is an embeddable reproduction of "Data Management in
 // Networks: Experimental Evaluation of a Provably Good Strategy" (Krick,
 // Meyer auf der Heide, Räcke, Vöcking, Westermann; SPAA 1999): the DIVA
 // (Distributed Variables) library — transparent access to global variables
 // on a simulated parallel machine — together with the access tree data
 // management strategy, the fixed home baseline, the paper's three
-// applications (matrix multiplication, bitonic sorting, Barnes-Hut) and a
-// harness that regenerates every figure of the evaluation.
+// applications and a harness that regenerates every figure of the
+// evaluation.
 //
-// The library lives under internal/: start with internal/core (the DIVA
-// API) and internal/core/accesstree (the paper's contribution).
+// # The public API
+//
+// This package is the façade applications link against, the way the
+// paper's DIVA is a library application code links against. Build a
+// machine with New and functional options, returning validated errors:
+//
+//	m, err := diva.New(
+//		diva.WithMesh(16, 16),
+//		diva.WithStrategyName("at4"),
+//		diva.WithSeed(1999),
+//	)
+//
+// Strategies (fixedhome, at2, at4, at16, at2k4, at4k8, at4k16, atrandom)
+// and topologies (mesh, torus, hypercube, fattree) are selectable by
+// string through the name-keyed registries in diva/strategy and
+// diva/topology — the single source of truth behind every -strategy and
+// -topology flag — or passed explicitly with WithStrategy and
+// WithTopology. Registries are open: embedders Register their own
+// strategies and interconnects and every existing workload runs on them
+// unchanged.
+//
+// SPMD programs run one process per processor and access shared state
+// exclusively through the Proc operations:
+//
+//	v := p.Alloc(size, value)   // create a global variable
+//	x := p.Read(v)              // transparent read (may migrate copies)
+//	p.Write(v, y)               // transparent write (invalidates copies)
+//	p.Lock(v) / p.Unlock(v)     // per-variable mutual exclusion
+//	p.Barrier()                 // global barrier synchronization
+//
+// The paper's applications — matrix multiplication, bitonic sorting,
+// Barnes-Hut — implement the Workload interface, so any application runs
+// on any (topology × strategy) cell through one driver; diva/experiments
+// exposes the figure harness the same way. cmd/divasim and
+// cmd/experiments are thin CLIs over exactly this surface.
+//
+// # The implementation
+//
+// The library lives under internal/ and is re-exported here by type
+// alias, so the public machine is bit-for-bit the internal one: start
+// with internal/core (the DIVA library) and internal/core/accesstree
+// (the paper's contribution).
 //
 // The network is pluggable (internal/mesh.Topology): the paper's 2D mesh
 // is the default and is bit-identical to the original mesh-only
 // implementation, and a 2D torus, a hypercube and a binary fat-tree run
 // the same strategies unchanged — the hierarchical decomposition
-// (internal/decomp) is computed from the topology (grid rectangles for
-// mesh/torus, processor-id spans for the rest), and the paper's modular
-// embedding generalizes per region kind. The "topologies" experiment
-// (internal/experiments, cmd/experiments -fig topologies) sweeps all
-// strategies across the four networks at matched processor counts;
-// cmd/divasim takes a -topology flag for one-off runs.
+// (internal/decomp) is computed from the topology, and the paper's
+// modular embedding generalizes per region kind. The "topologies"
+// experiment sweeps all strategies across the four networks at matched
+// processor counts.
 //
 // The simulator's hot path is allocation-free by design (see PERF.md for
 // the profile-driven rationale and the baseline-vs-after numbers): the
@@ -29,6 +67,7 @@
 // events instead of closures, and the access tree keeps its per-variable
 // protocol state in dense slice-indexed node tables. Determinism is
 // load-bearing — identical seeds must give identical event orders and
-// metrics — and is pinned by golden regression tests (determinism_test.go)
-// via the kernel's event-order fingerprint.
+// metrics — and is pinned by golden regression tests (determinism_test.go,
+// publicapi_test.go) via the kernel's event-order fingerprint, driven
+// through both the internal construction path and this façade.
 package diva

@@ -1,6 +1,7 @@
 // Matrix-square walkthrough: the paper's first application (§3.1) on an
 // 8×8 mesh, comparing all three data management approaches on the same
-// input, with the result verified against a sequential computation.
+// input through the unified diva.Workload driver, with the result verified
+// against a sequential computation.
 //
 // Run with:
 //
@@ -11,43 +12,40 @@ import (
 	"fmt"
 	"os"
 
-	"diva/internal/apps/matmul"
-	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/core/fixedhome"
-	"diva/internal/decomp"
+	"diva"
 )
 
 func main() {
 	const side = 8
-	cfg := matmul.Config{
+	cfg := diva.MatmulConfig{
 		BlockInts: 256, // each block is a 16x16 submatrix
 		Check:     true,
 		Seed:      7,
 	}
 
 	type entry struct {
-		name string
-		fact core.Factory
-		spec decomp.Spec
+		name     string
+		strategy string // registry name; "" selects the hand-optimized program
 	}
 	for _, e := range []entry{
-		{"hand-optimized message passing", nil, decomp.Ary2},
-		{"4-ary access tree", accesstree.Factory(), decomp.Ary4},
-		{"fixed home (ownership scheme)", fixedhome.Factory(), decomp.Ary4},
+		{"hand-optimized message passing", ""},
+		{"4-ary access tree", "at4"},
+		{"fixed home (ownership scheme)", "fixedhome"},
 	} {
-		m := core.NewMachine(core.Config{
-			Rows: side, Cols: side, Seed: 1, Tree: e.spec, Strategy: e.fact,
-		})
-		var (
-			res matmul.Result
-			err error
-		)
-		if e.fact == nil {
-			res, err = matmul.RunHandOpt(m, cfg)
+		opts := []diva.Option{diva.WithMesh(side, side), diva.WithSeed(1)}
+		w := diva.MatmulHandOpt(cfg)
+		if e.strategy == "" {
+			opts = append(opts, diva.WithTree(diva.Ary2))
 		} else {
-			res, err = matmul.RunDSM(m, cfg)
+			opts = append(opts, diva.WithStrategyName(e.strategy))
+			w = diva.Matmul(cfg)
 		}
+		m, err := diva.New(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(1)
+		}
+		res, err := w.Run(m, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "matmul:", err)
 			os.Exit(1)

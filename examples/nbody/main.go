@@ -14,22 +14,22 @@ import (
 	"fmt"
 	"os"
 
-	"diva/internal/apps/barneshut"
-	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/decomp"
-	"diva/internal/metrics"
+	"diva"
 )
 
 func main() {
-	m := core.NewMachine(core.Config{
-		Rows: 4, Cols: 4, Seed: 17,
-		Tree:     decomp.Ary4, // the paper's best variant for Barnes-Hut
-		Strategy: accesstree.Factory(),
-	})
-	col := metrics.New(m.Net)
+	m, err := diva.New(
+		diva.WithMesh(4, 4),
+		diva.WithSeed(17),
+		diva.WithStrategyName("at4"), // the paper's best variant for Barnes-Hut
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbody:", err)
+		os.Exit(1)
+	}
+	col := diva.NewCollector(m)
 
-	cfg := barneshut.Config{
+	cfg := diva.BarnesHutConfig{
 		N:           1024,
 		Steps:       5,
 		MeasureFrom: 1,
@@ -38,22 +38,23 @@ func main() {
 		Seed:        2024,
 		WithCompute: true,
 	}
-	initial := barneshut.Plummer(cfg.N, cfg.Seed)
-	e0 := barneshut.Energy(initial, 0.05)
+	initial := diva.Plummer(cfg.N, cfg.Seed)
+	e0 := diva.Energy(initial, 0.05)
 
-	res, err := barneshut.Run(m, cfg, col)
+	res, err := diva.BarnesHut(cfg).Run(m, col)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nbody:", err)
 		os.Exit(1)
 	}
+	nbody := res.Detail.(diva.BarnesHutResult)
 
-	final := barneshut.FinalBodies(m, res)
-	e1 := barneshut.Energy(final, 0.05)
+	final := diva.FinalBodies(m, nbody)
+	e1 := diva.Energy(final, 0.05)
 
 	fmt.Printf("simulated %d bodies for %d steps on %s (%s)\n",
 		cfg.N, cfg.Steps, m.Topo, m.Strat.Name())
 	fmt.Printf("octree depth %d, %d force interactions in the last step\n",
-		res.MaxDepth, res.Interactions)
+		nbody.MaxDepth, nbody.Interactions)
 	fmt.Printf("energy drift: %.4f -> %.4f (%.2f%%)\n", e0, e1, 100*(e1-e0)/(-e0))
 	fmt.Printf("simulated time: %.1f s\n", res.ElapsedUS/1e6)
 
@@ -68,7 +69,7 @@ func main() {
 	// Lay the counts out as the mesh grid; on a non-mesh topology print
 	// them as one flat row.
 	mm, isMesh := m.MeshTopo()
-	for pr, n := range res.BodiesPerProc {
+	for pr, n := range nbody.BodiesPerProc {
 		fmt.Printf("%4d", n)
 		if isMesh && (pr+1)%mm.Cols == 0 {
 			fmt.Println()

@@ -1,4 +1,4 @@
-// Quickstart: a minimal DIVA program.
+// Quickstart: a minimal DIVA program on the public API.
 //
 // Eight simulated processors on a 2×4 mesh share one global variable
 // through the access tree strategy: everyone reads it (copies spread along
@@ -13,23 +13,23 @@ package main
 import (
 	"fmt"
 
-	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/decomp"
+	"diva"
 )
 
 func main() {
-	m := core.NewMachine(core.Config{
-		Rows: 2, Cols: 4,
-		Seed:     42,
-		Tree:     decomp.Ary2, // 2-ary hierarchical mesh decomposition
-		Strategy: accesstree.Factory(),
-	})
+	m, err := diva.New(
+		diva.WithMesh(2, 4),
+		diva.WithSeed(42),
+		diva.WithStrategyName("at2"), // 2-ary access trees
+	)
+	if err != nil {
+		panic(err)
+	}
 
 	// A global variable: 64 bytes, created on processor 0.
 	greeting := m.AllocAt(0, 64, "hello from processor 0")
 
-	err := m.Run(func(p *core.Proc) {
+	err = m.Run(func(p *diva.Proc) {
 		// Transparent read: the value migrates/replicates as needed.
 		v := p.Read(greeting)
 		if p.ID == 3 {

@@ -16,16 +16,13 @@ import (
 	"fmt"
 	"os"
 
-	"diva/internal/apps/bitonic"
-	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/decomp"
+	"diva"
 )
 
 func main() {
 	// Show the circuit first (Figure 5 of the paper is the P=8 instance).
 	fmt.Println("bitonic circuit for 8 wires (steps of parallel comparators):")
-	for si, step := range bitonic.Circuit(8) {
+	for si, step := range diva.BitonicCircuit(8) {
 		fmt.Printf("  step %d:", si)
 		for _, c := range step {
 			dir := "asc"
@@ -39,25 +36,30 @@ func main() {
 
 	// Sort 16*512 keys on a 4x4 mesh with the 2-4-ary access tree (the
 	// variant the paper found best for sorting).
-	m := core.NewMachine(core.Config{
-		Rows: 4, Cols: 4, Seed: 3,
-		Tree:     decomp.Ary2K4,
-		Strategy: accesstree.Factory(),
-	})
-	res, err := bitonic.RunDSM(m, bitonic.Config{
+	m, err := diva.New(
+		diva.WithMesh(4, 4),
+		diva.WithSeed(3),
+		diva.WithStrategyName("at2k4"),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sorting:", err)
+		os.Exit(1)
+	}
+	res, err := diva.Bitonic(diva.BitonicConfig{
 		KeysPerProc: 512,
 		Check:       true,
 		WithCompute: true,
 		CompareUS:   1.0,
 		Seed:        99,
-	})
+	}).Run(m, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sorting:", err)
 		os.Exit(1)
 	}
+	sorted := res.Detail.(diva.BitonicResult)
 	c := m.Net.Congestion(nil)
 	fmt.Printf("\nsorted %d keys on %s with %s\n", 512*m.P(), m.Topo, m.Strat.Name())
 	fmt.Printf("merge&split steps: %d, simulated time %.1f ms, congestion %d bytes\n",
-		res.Steps, res.ElapsedUS/1000, c.MaxBytes)
+		sorted.Steps, res.ElapsedUS/1000, c.MaxBytes)
 	fmt.Printf("output verified sorted: %v\n", res.Verified)
 }

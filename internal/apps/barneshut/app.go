@@ -167,6 +167,9 @@ func (st *procState) resetCells() {
 // (which may be nil). The machine must use a data management strategy.
 func Run(m *core.Machine, cfg Config, col *metrics.Collector) (Result, error) {
 	cfg = cfg.withDefaults()
+	if m.Strat == nil {
+		return Result{}, fmt.Errorf("barneshut: machine has no data management strategy")
+	}
 	if cfg.N < 1 {
 		return Result{}, fmt.Errorf("barneshut: need at least one body")
 	}

@@ -15,7 +15,7 @@ import (
 
 func runWithPhases(t *testing.T, f core.Factory, spec decomp.Spec, n int) (*core.Machine, *metrics.Collector) {
 	t.Helper()
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 4, Cols: 4, Seed: 99, Tree: spec, Strategy: f,
 	})
 	col := metrics.New(m.Net)
@@ -99,7 +99,7 @@ func TestPhaseTimesSumToTotal(t *testing.T) {
 
 // TestWarmupStepsExcluded: metrics only cover steps >= MeasureFrom.
 func TestWarmupStepsExcluded(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 2, Cols: 2, Seed: 4, Tree: decomp.Ary4,
 		Strategy: accesstree.Factory(),
 	})
@@ -140,7 +140,7 @@ func TestCostzonesPrunedTraversal(t *testing.T) {
 // barneshut_test.go); here we pin that re-partitioning really moves work.
 func TestOwnershipMigration(t *testing.T) {
 	_, res := func() (*core.Machine, Result) {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 4, Cols: 4, Seed: 6, Tree: decomp.Ary4,
 			Strategy: accesstree.Factory(),
 		})

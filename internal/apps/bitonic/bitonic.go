@@ -148,6 +148,9 @@ func keepsLower(cmp Comparator, w int) bool {
 // RunDSM executes bitonic sorting through the machine's data management
 // strategy. The machine's processor count must be a power of two.
 func RunDSM(m *core.Machine, cfg Config) (Result, error) {
+	if m.Strat == nil {
+		return Result{}, fmt.Errorf("bitonic: machine has no data management strategy (use RunHandOpt, or build the machine with one)")
+	}
 	p := m.P()
 	if p&(p-1) != 0 {
 		return Result{}, fmt.Errorf("bitonic: %d processors is not a power of two", p)

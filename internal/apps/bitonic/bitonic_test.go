@@ -12,7 +12,7 @@ import (
 )
 
 func newMachine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: rows, Cols: cols, Seed: 77, Tree: spec, Strategy: f,
 	})
 }

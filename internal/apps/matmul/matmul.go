@@ -103,6 +103,9 @@ func mulAdd(h, x, y block, b int) {
 // RunDSM executes the matrix square through the machine's data management
 // strategy (access tree or fixed home).
 func RunDSM(m *core.Machine, cfg Config) (Result, error) {
+	if m.Strat == nil {
+		return Result{}, fmt.Errorf("matmul: machine has no data management strategy (use RunHandOpt, or build the machine with one)")
+	}
 	// The DSM version communicates only through the data management
 	// strategy, so it runs on any topology with a square processor count.
 	s, b, err := cfg.Dims(m.P())

@@ -10,7 +10,7 @@ import (
 )
 
 func newMachine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: rows, Cols: cols, Seed: 99, Tree: spec, Strategy: f,
 	})
 }

@@ -18,7 +18,7 @@ import (
 //  4. the committed value is the last value written.
 
 func newTestMachine(spec decomp.Spec, rows, cols int, seed uint64) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: rows, Cols: cols, Seed: seed, Tree: spec,
 		Strategy: Factory(),
 	})
@@ -231,7 +231,7 @@ func TestWriteByNonHolderLeavesPathCopies(t *testing.T) {
 // with and without remapping.
 func TestRandomTrafficInvariantsRandomEmbedding(t *testing.T) {
 	for _, threshold := range []int{0, 6} {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 4, Cols: 4, Seed: 31, Tree: decomp.Ary2,
 			Strategy: FactoryOpts(Options{RandomEmbedding: true, RemapThreshold: threshold}),
 		})

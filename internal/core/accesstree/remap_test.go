@@ -8,7 +8,7 @@ import (
 )
 
 func remapMachine(threshold int) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: 4, Cols: 4, Seed: 77, Tree: decomp.Ary2,
 		Strategy: FactoryOpts(Options{RandomEmbedding: true, RemapThreshold: threshold}),
 	})
@@ -51,7 +51,7 @@ func TestRemapTriggersAndStaysCorrect(t *testing.T) {
 
 // TestRemapOffByDefault: the paper's configuration performs no migrations.
 func TestRemapOffByDefault(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 4, Cols: 4, Seed: 77, Tree: decomp.Ary2,
 		Strategy: Factory(),
 	})

@@ -13,7 +13,7 @@ import (
 // replacement must kick in, the component invariants must survive, and all
 // values must remain readable.
 func TestBoundedCacheEvicts(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 4, Cols: 4, Seed: 42, Tree: decomp.Ary2,
 		Strategy:      Factory(),
 		CacheCapacity: 300, // under five 64-byte copies per node
@@ -60,7 +60,7 @@ func TestBoundedCacheEvicts(t *testing.T) {
 
 // TestSoleCopyNeverEvicted: eviction must refuse to drop the last copy.
 func TestSoleCopyNeverEvicted(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 2, Cols: 2, Seed: 1, Tree: decomp.Ary2,
 		Strategy:      Factory(),
 		CacheCapacity: 100, // a single 64-byte copy fits, two do not

@@ -15,7 +15,7 @@ import (
 // nodes that land on the same processor still count as sends here, since
 // SendStats counts local deliveries too.)
 func TestBarrierMessageComplexity(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 4, Cols: 4, Seed: 5, Tree: decomp.Ary2,
 		Strategy: accesstree.Factory(),
 	})
@@ -39,7 +39,7 @@ func TestBarrierMessageComplexity(t *testing.T) {
 // order when the combine function is order-sensitive, deterministically.
 func TestBarrierReduceDeterministicOrder(t *testing.T) {
 	run := func() string {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 2, Cols: 4, Seed: 9, Tree: decomp.Ary2,
 			Strategy: accesstree.Factory(),
 		})
@@ -72,7 +72,7 @@ func TestBarrierReduceAssociativeProperty(t *testing.T) {
 	specs := []decomp.Spec{decomp.Ary2, decomp.Ary4, decomp.Ary16, decomp.Ary2K4}
 	check := func(seedRaw uint16, specIdx uint8) bool {
 		spec := specs[int(specIdx)%len(specs)]
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 4, Cols: 4, Seed: uint64(seedRaw), Tree: spec,
 			Strategy: accesstree.Factory(),
 		})
@@ -100,7 +100,7 @@ func TestBarrierReduceAssociativeProperty(t *testing.T) {
 // TestBarrierManyRoundsManyShapes stresses epoch bookkeeping.
 func TestBarrierManyRoundsManyShapes(t *testing.T) {
 	for _, shape := range [][2]int{{1, 7}, {3, 5}, {8, 8}} {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: shape[0], Cols: shape[1], Seed: 1, Tree: decomp.Ary4,
 			Strategy: accesstree.Factory(),
 		})
@@ -127,7 +127,7 @@ func TestBarrierDoubleEntryPanics(t *testing.T) {
 	// process by construction (Barrier blocks); this guards the internal
 	// invariant through the machine's accounting instead: barrier epochs
 	// advance once per call.
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 2, Cols: 2, Seed: 2, Tree: decomp.Ary2,
 		Strategy: accesstree.Factory(),
 	})
@@ -150,7 +150,7 @@ func TestBarrierDoubleEntryPanics(t *testing.T) {
 // TestVariableIdleReporting exercises the transaction-state accessor the
 // replacement machinery relies on.
 func TestVariableIdleReporting(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 2, Cols: 2, Seed: 3, Tree: decomp.Ary2,
 		Strategy: accesstree.Factory(),
 	})

@@ -157,7 +157,7 @@ func TestLockedReadModifyWriteManyVars(t *testing.T) {
 // application-visible state for a deterministic program.
 func TestMixedStrategiesSameResults(t *testing.T) {
 	run := func(f core.Factory) []interface{} {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 4, Cols: 4, Seed: 12, Tree: decomp.Ary4, Strategy: f,
 		})
 		ids := make([]core.VarID, 6)

@@ -21,7 +21,7 @@ func testStrategies() map[string]core.Factory {
 
 func newTestMachine(t *testing.T, rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
 	t.Helper()
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: rows, Cols: cols,
 		Seed:     12345,
 		Tree:     spec,
@@ -443,7 +443,7 @@ func TestVariableRWQueue(t *testing.T) {
 // one, so the access tree's congestion is lower.
 func TestCongestionATBeatsFHOnBroadcastPattern(t *testing.T) {
 	congestion := func(f core.Factory) uint64 {
-		m := core.NewMachine(core.Config{
+		m := core.MustNewMachine(core.Config{
 			Rows: 8, Cols: 8, Seed: 7, Tree: decomp.Ary4, Strategy: f,
 		})
 		v := m.AllocAt(0, 1024, "blob")
@@ -483,7 +483,7 @@ func TestAllocValidation(t *testing.T) {
 }
 
 func ExampleMachine() {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 2, Cols: 2, Seed: 1,
 		Tree:     decomp.Ary2,
 		Strategy: accesstree.Factory(),

@@ -9,7 +9,7 @@ import (
 )
 
 func newTestMachine(rows, cols int, seed uint64) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: rows, Cols: cols, Seed: seed, Tree: decomp.Ary2,
 		Strategy: Factory(),
 	})
@@ -192,7 +192,7 @@ func TestLockQueueFIFO(t *testing.T) {
 }
 
 func TestEvictionNotifiesDirectory(t *testing.T) {
-	m := core.NewMachine(core.Config{
+	m := core.MustNewMachine(core.Config{
 		Rows: 2, Cols: 2, Seed: 8, Tree: decomp.Ary2,
 		Strategy:      Factory(),
 		CacheCapacity: 200, // room for ~3 copies of 64 bytes

@@ -98,20 +98,35 @@ type Machine struct {
 	procs []*Proc
 }
 
-// NewMachine builds a machine from cfg.
-func NewMachine(cfg Config) *Machine {
+// NewMachine builds a machine from cfg. The configuration is validated:
+// invalid setups — non-positive mesh dimensions, an unsupported
+// decomposition spec, a negative cache capacity — are reported as errors,
+// never as panics, so embedding applications can surface them.
+func NewMachine(cfg Config) (*Machine, error) {
 	topo := cfg.Topology
 	if topo == nil {
 		if cfg.Rows <= 0 || cfg.Cols <= 0 {
-			panic("core: mesh dimensions must be positive")
+			return nil, fmt.Errorf("diva: mesh dimensions must be positive, have %dx%d", cfg.Rows, cfg.Cols)
 		}
 		topo = mesh.New(cfg.Rows, cfg.Cols)
+	} else if topo.N() <= 0 {
+		return nil, fmt.Errorf("diva: topology %v has no processors", topo)
 	}
-	if cfg.Net.BytesPerUS == 0 {
+	if cfg.Net == (mesh.Params{}) {
 		cfg.Net = mesh.GCelParams()
+	} else if cfg.Net.BytesPerUS <= 0 {
+		// Partially-specified params are not silently replaced by the
+		// defaults: that would drop the fields the caller did set.
+		return nil, fmt.Errorf("diva: link bandwidth must be positive, have %v bytes/us (start from GCelParams when overriding individual timings)", cfg.Net.BytesPerUS)
 	}
 	if cfg.Tree.Base == 0 {
 		cfg.Tree = decomp.Ary4
+	}
+	if !cfg.Tree.Valid() {
+		return nil, fmt.Errorf("diva: unsupported decomposition tree %s (base must be 2, 4 or 16; k must be 0 or >= base)", cfg.Tree.Name())
+	}
+	if cfg.CacheCapacity < 0 {
+		return nil, fmt.Errorf("diva: cache capacity must be non-negative, have %d", cfg.CacheCapacity)
 	}
 	m := &Machine{
 		K:    sim.New(),
@@ -129,6 +144,16 @@ func NewMachine(cfg Config) *Machine {
 	m.bar = newBarrier(m)
 	if cfg.Strategy != nil {
 		m.Strat = cfg.Strategy(m)
+	}
+	return m, nil
+}
+
+// MustNewMachine is NewMachine for configurations known to be valid; it
+// panics on a validation error. Tests and fixed internal setups use it.
+func MustNewMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }

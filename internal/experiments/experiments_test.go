@@ -13,7 +13,7 @@ import (
 
 // coreMachine builds a side×side machine for shape tests.
 func coreMachine(side int, f core.Factory) *core.Machine {
-	return core.NewMachine(core.Config{
+	return core.MustNewMachine(core.Config{
 		Rows: side, Cols: side, Seed: 8, Tree: decomp.Ary4, Strategy: f,
 	})
 }
@@ -153,7 +153,7 @@ func TestFig8OrderingQuick(t *testing.T) {
 	for _, s := range []strategyUnderTest{
 		fhStrategy(), atStrategy(decomp.Ary16), atStrategy(decomp.Ary4), atStrategy(decomp.Ary2),
 	} {
-		row, err := r.runBarnesHut(4, 4, 600, s)
+		row, err := r.runBarnesHut(4, 4, 600, s, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,6 +217,37 @@ func TestTopologiesSweepDeterministic(t *testing.T) {
 	const golden = uint64(0x8a4b5d10c2f40df9)
 	if got := fnv1a(seq.Bytes()); got != golden {
 		t.Errorf("sweep output fingerprint = %#x, want %#x (simulated results changed)", got, golden)
+	}
+}
+
+// TestFig8InFigureFanOut: the Figure 8 five-strategy Barnes-Hut sweep must
+// emit byte-identical output whether its (strategy, N) cells run
+// sequentially or fanned out across the worker pool, and the quick-mode
+// output at the canonical seed is pinned by a golden fingerprint: a change
+// here means the simulated sweep results changed, not just the formatting.
+func TestFig8InFigureFanOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("barnes-hut strategy sweep in short mode")
+	}
+	var seq bytes.Buffer
+	rs := New(&seq, true, 1999)
+	if err := rs.Run("8"); err != nil {
+		t.Fatal(err)
+	}
+	var par bytes.Buffer
+	rp := New(&par, true, 1999)
+	rp.Workers = 4
+	if err := rp.Run("8"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("fanned-out Figure 8 output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+			seq.String(), par.String())
+	}
+	// Golden fingerprint of the quick-mode figure at seed 1999 (FNV-1a).
+	const golden = uint64(0x90d69ced226709b8)
+	if got := fnv1a(seq.Bytes()); got != golden {
+		t.Errorf("figure 8 output fingerprint = %#x, want %#x (simulated results changed)", got, golden)
 	}
 }
 

@@ -95,10 +95,12 @@ func (r *Runner) bhMeshSide() int {
 }
 
 // runBarnesHut executes one configuration and extracts the metrics.
-func (r *Runner) runBarnesHut(rows, cols, n int, s strategyUnderTest) (bhRow, error) {
+// concurrent marks a call from an in-figure fan-out: the machine then runs
+// alongside the other cells' machines (simulated results are unaffected).
+func (r *Runner) runBarnesHut(rows, cols, n int, s strategyUnderTest, concurrent bool) (bhRow, error) {
 	key := fmt.Sprintf("%dx%d/%d/%s", rows, cols, n, s.name)
 	return r.bhCache.getOrCompute(key, func() (bhRow, error) {
-		m := r.machine(rows, cols, s.fact, s.spec)
+		m := r.machineConc(rows, cols, s.fact, s.spec, concurrent)
 		col := metrics.New(m.Net)
 		steps, measureFrom := 7, 2
 		if r.Quick {
@@ -122,13 +124,49 @@ func (r *Runner) runBarnesHut(rows, cols, n int, s strategyUnderTest) (bhRow, er
 	})
 }
 
-// bhSweep runs (and caches) the full Figures 8-10 sweep.
+// bhSweep runs (and caches) the full Figures 8-10 sweep. The
+// (strategy, N) cells are independent simulations, so when the runner has
+// workers they fan out across the pool first (the in-figure fan-out of the
+// topologies sweep); the rows are then assembled from the cache in
+// deterministic order, making the result identical to a sequential sweep.
 func (r *Runner) bhSweep() (map[string][]bhRow, error) {
 	side := r.bhMeshSide()
+	strategies := bhStrategies()
+	sizes := r.bhSizes()
+	if workers := r.Workers; workers > 1 {
+		type cell struct {
+			s strategyUnderTest
+			n int
+		}
+		cells := make([]cell, 0, len(strategies)*len(sizes))
+		for _, s := range strategies {
+			for _, n := range sizes {
+				cells = append(cells, cell{s, n})
+			}
+		}
+		errs := make([]error, len(cells))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, c := range cells {
+			wg.Add(1)
+			go func(i int, c cell) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				_, errs[i] = r.runBarnesHut(side, side, c.n, c.s, true)
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	out := make(map[string][]bhRow)
-	for _, s := range bhStrategies() {
-		for _, n := range r.bhSizes() {
-			row, err := r.runBarnesHut(side, side, n, s)
+	for _, s := range strategies {
+		for _, n := range sizes {
+			row, err := r.runBarnesHut(side, side, n, s, false)
 			if err != nil {
 				return nil, err
 			}
@@ -269,11 +307,11 @@ func (r *Runner) Fig11() error {
 	for _, ms := range meshes {
 		p := ms[0] * ms[1]
 		n := perProc * p
-		ra, err := r.runBarnesHut(ms[0], ms[1], n, at)
+		ra, err := r.runBarnesHut(ms[0], ms[1], n, at, false)
 		if err != nil {
 			return err
 		}
-		rf, err := r.runBarnesHut(ms[0], ms[1], n, fh)
+		rf, err := r.runBarnesHut(ms[0], ms[1], n, fh, false)
 		if err != nil {
 			return err
 		}

@@ -5,8 +5,6 @@ import (
 
 	"diva/internal/apps/bitonic"
 	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/core/fixedhome"
 	"diva/internal/decomp"
 )
 
@@ -61,11 +59,11 @@ func (r *Runner) Fig6() error {
 		if err != nil {
 			return err
 		}
-		fh, err := r.runBitonic(side, k, fixedhome.Factory(), decomp.Ary2)
+		fh, err := r.runBitonic(side, k, fhFactory(), decomp.Ary2)
 		if err != nil {
 			return err
 		}
-		at, err := r.runBitonic(side, k, accesstree.Factory(), decomp.Ary2K4)
+		at, err := r.runBitonic(side, k, atFactory(), decomp.Ary2K4)
 		if err != nil {
 			return err
 		}
@@ -112,11 +110,11 @@ func (r *Runner) Fig7() error {
 		if err != nil {
 			return err
 		}
-		fh, err := r.runBitonic(side, keys, fixedhome.Factory(), decomp.Ary2)
+		fh, err := r.runBitonic(side, keys, fhFactory(), decomp.Ary2)
 		if err != nil {
 			return err
 		}
-		at, err := r.runBitonic(side, keys, accesstree.Factory(), decomp.Ary2K4)
+		at, err := r.runBitonic(side, keys, atFactory(), decomp.Ary2K4)
 		if err != nil {
 			return err
 		}

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"diva"
 	"diva/internal/apps/barneshut"
-	"diva/internal/core"
 	"diva/internal/core/accesstree"
 	"diva/internal/decomp"
 	"diva/internal/metrics"
@@ -26,12 +26,14 @@ func (r *Runner) AblationReplacement() error {
 	r.header(fmt.Sprintf("Ablation: bounded memory and LRU replacement (Barnes-Hut, %dx%d, N=%d, 2-ary)", side, side, n))
 	rows := [][]string{{"capacity/node", "congestion(msgs)", "time(s)", "evictions"}}
 	for _, capacity := range []int{0, 512 * 1024, 96 * 1024, 48 * 1024} {
-		m := core.NewMachine(core.Config{
-			Rows: side, Cols: side, Seed: r.Seed, Tree: decomp.Ary2,
-			Strategy:      accesstree.Factory(),
-			CacheCapacity: capacity,
-			Concurrent:    r.concurrent,
-		})
+		m := diva.MustNew(
+			diva.WithMesh(side, side),
+			diva.WithSeed(r.Seed),
+			diva.WithTree(decomp.Ary2),
+			diva.WithStrategyName("at2"),
+			diva.WithCacheCapacity(capacity),
+			diva.WithConcurrent(r.concurrent),
+		)
 		col := metrics.New(m.Net)
 		_, err := barneshut.Run(m, barneshut.Config{
 			N: n, Steps: steps, MeasureFrom: 1, Seed: r.Seed, WithCompute: true,
@@ -83,11 +85,13 @@ func (r *Runner) AblationRemap() error {
 		{"random embedding, remap@256 accesses", accesstree.Options{RandomEmbedding: true, RemapThreshold: 256}},
 		{"random embedding, remap@64 accesses", accesstree.Options{RandomEmbedding: true, RemapThreshold: 64}},
 	} {
-		m := core.NewMachine(core.Config{
-			Rows: side, Cols: side, Seed: r.Seed, Tree: decomp.Ary4,
-			Strategy:   accesstree.FactoryOpts(mode.opts),
-			Concurrent: r.concurrent,
-		})
+		m := diva.MustNew(
+			diva.WithMesh(side, side),
+			diva.WithSeed(r.Seed),
+			diva.WithTree(decomp.Ary4),
+			diva.WithStrategy(accesstree.FactoryOpts(mode.opts)),
+			diva.WithConcurrent(r.concurrent),
+		)
 		col := metrics.New(m.Net)
 		if _, err := barneshut.Run(m, barneshut.Config{
 			N: n, Steps: 4, MeasureFrom: 1, Seed: r.Seed, WithCompute: true,

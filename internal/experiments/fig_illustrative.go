@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"diva"
 	"diva/internal/apps/bitonic"
 	"diva/internal/core"
 	"diva/internal/core/accesstree"
-	"diva/internal/core/fixedhome"
 	"diva/internal/decomp"
 	"diva/internal/mesh"
 	"diva/internal/metrics"
@@ -137,11 +137,13 @@ func (r *Runner) AblationEmbedding() error {
 		{"modular (paper)", accesstree.Options{}},
 		{"fully random", accesstree.Options{RandomEmbedding: true}},
 	} {
-		m := core.NewMachine(core.Config{
-			Rows: side, Cols: side, Seed: r.Seed, Tree: decomp.Ary4,
-			Strategy:   accesstree.FactoryOpts(mode.opts),
-			Concurrent: r.concurrent,
-		})
+		m := diva.MustNew(
+			diva.WithMesh(side, side),
+			diva.WithSeed(r.Seed),
+			diva.WithTree(decomp.Ary4),
+			diva.WithStrategy(accesstree.FactoryOpts(mode.opts)),
+			diva.WithConcurrent(r.concurrent),
+		)
 		res, err := runMatmulOn(m, block, r.Seed)
 		if err != nil {
 			return err
@@ -168,7 +170,7 @@ func (r *Runner) AblationArity() error {
 	r.header(fmt.Sprintf("Ablation: access tree arity (matmul, %dx%d, block %d)", side, side, block))
 	rows := [][]string{{"arity", "congestion(bytes)", "comm time(us)"}}
 	for _, spec := range []decomp.Spec{decomp.Ary2, decomp.Ary2K4, decomp.Ary4, decomp.Ary4K16, decomp.Ary16} {
-		m := r.machine(side, side, accesstree.Factory(), spec)
+		m := r.machine(side, side, atFactory(), spec)
 		res, err := runMatmulOn(m, block, r.Seed)
 		if err != nil {
 			return err
@@ -176,7 +178,8 @@ func (r *Runner) AblationArity() error {
 		c := m.Net.Congestion(nil)
 		rows = append(rows, []string{spec.Name(), fmt.Sprint(c.MaxBytes), f1(res)})
 	}
-	m := r.machine(side, side, fixedhome.Factory(), decomp.Ary4)
+	fh := fhStrategy()
+	m := r.machine(side, side, fh.fact, fh.spec)
 	res, err := runMatmulOn(m, block, r.Seed)
 	if err != nil {
 		return err

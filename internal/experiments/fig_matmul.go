@@ -5,8 +5,6 @@ import (
 
 	"diva/internal/apps/matmul"
 	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/core/fixedhome"
 	"diva/internal/decomp"
 )
 
@@ -74,11 +72,11 @@ func (r *Runner) Fig3() error {
 		if err != nil {
 			return err
 		}
-		fh, err := r.runMatmul(side, blk, fixedhome.Factory(), decomp.Ary4)
+		fh, err := r.runMatmul(side, blk, fhFactory(), decomp.Ary4)
 		if err != nil {
 			return err
 		}
-		at, err := r.runMatmul(side, blk, accesstree.Factory(), decomp.Ary4)
+		at, err := r.runMatmul(side, blk, atFactory(), decomp.Ary4)
 		if err != nil {
 			return err
 		}
@@ -128,11 +126,11 @@ func (r *Runner) Fig4() error {
 		if err != nil {
 			return err
 		}
-		fh, err := r.runMatmul(side, block, fixedhome.Factory(), decomp.Ary4)
+		fh, err := r.runMatmul(side, block, fhFactory(), decomp.Ary4)
 		if err != nil {
 			return err
 		}
-		at, err := r.runMatmul(side, block, accesstree.Factory(), decomp.Ary4)
+		at, err := r.runMatmul(side, block, atFactory(), decomp.Ary4)
 		if err != nil {
 			return err
 		}

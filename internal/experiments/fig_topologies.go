@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
+	"diva"
 	"diva/internal/apps/barneshut"
-	"diva/internal/core"
 	"diva/internal/mesh"
 	"diva/internal/metrics"
 )
@@ -46,15 +46,18 @@ type topoCell struct {
 
 // runTopoCell runs the Barnes-Hut workload for one sweep cell.
 func (r *Runner) runTopoCell(topo mesh.Topology, s strategyUnderTest, n, steps int, concurrent bool) (topoCell, error) {
-	m := core.NewMachine(core.Config{
-		Topology:   topo,
-		Seed:       r.Seed,
-		Tree:       s.spec,
-		Strategy:   s.fact,
-		Concurrent: concurrent,
-	})
+	m, err := diva.New(
+		diva.WithTopology(topo),
+		diva.WithSeed(r.Seed),
+		diva.WithTree(s.spec),
+		diva.WithStrategy(s.fact),
+		diva.WithConcurrent(concurrent),
+	)
+	if err != nil {
+		return topoCell{}, err
+	}
 	col := metrics.New(m.Net)
-	_, err := barneshut.Run(m, barneshut.Config{
+	_, err = barneshut.Run(m, barneshut.Config{
 		N: n, Steps: steps, MeasureFrom: 2, Seed: r.Seed, WithCompute: true,
 	}, col)
 	if err != nil {

@@ -19,10 +19,10 @@ import (
 	"strings"
 	"sync"
 
+	"diva"
 	"diva/internal/core"
-	"diva/internal/core/accesstree"
-	"diva/internal/core/fixedhome"
 	"diva/internal/decomp"
+	"diva/strategy"
 )
 
 // Runner executes figures. Quick mode shrinks meshes and inputs so the full
@@ -151,15 +151,23 @@ func (r *Runner) runParallel(names []string) error {
 	return nil
 }
 
-// machine builds a machine for one experiment run.
+// machine builds a machine for one experiment run through the public
+// diva API (the machines here are exactly the ones embedders get).
 func (r *Runner) machine(rows, cols int, f core.Factory, spec decomp.Spec) *core.Machine {
-	return core.NewMachine(core.Config{
-		Rows: rows, Cols: cols,
-		Seed:       r.Seed,
-		Tree:       spec,
-		Strategy:   f,
-		Concurrent: r.concurrent,
-	})
+	return r.machineConc(rows, cols, f, spec, false)
+}
+
+// machineConc is machine with an explicit concurrency mark for in-figure
+// fan-outs (cells running alongside each other disable the kernel's
+// process-wide GOMAXPROCS pin; simulated results are unaffected).
+func (r *Runner) machineConc(rows, cols int, f core.Factory, spec decomp.Spec, concurrent bool) *core.Machine {
+	return diva.MustNew(
+		diva.WithMesh(rows, cols),
+		diva.WithSeed(r.Seed),
+		diva.WithTree(spec),
+		diva.WithStrategy(f),
+		diva.WithConcurrent(r.concurrent || concurrent),
+	)
 }
 
 // strategyUnderTest pairs a display name with its configuration.
@@ -169,13 +177,33 @@ type strategyUnderTest struct {
 	fact core.Factory
 }
 
+// atNames maps the paper's tree variants to their strategy registry names:
+// the public registry is the single source of truth for the factory/tree
+// pairs the figures run.
+var atNames = map[decomp.Spec]string{
+	decomp.Ary2:    "at2",
+	decomp.Ary4:    "at4",
+	decomp.Ary16:   "at16",
+	decomp.Ary2K4:  "at2k4",
+	decomp.Ary4K8:  "at4k8",
+	decomp.Ary4K16: "at4k16",
+}
+
 func atStrategy(spec decomp.Spec) strategyUnderTest {
-	return strategyUnderTest{name: spec.Name() + " AT", spec: spec, fact: accesstree.Factory()}
+	s := strategy.MustGet(atNames[spec])
+	return strategyUnderTest{name: s.Tree.Name() + " AT", spec: s.Tree, fact: s.Factory}
 }
 
 func fhStrategy() strategyUnderTest {
-	return strategyUnderTest{name: "fixed home", spec: decomp.Ary4, fact: fixedhome.Factory()}
+	s := strategy.MustGet("fixedhome")
+	return strategyUnderTest{name: "fixed home", spec: s.Tree, fact: s.Factory}
 }
+
+// atFactory and fhFactory resolve the registry factories for figures that
+// pair a strategy with a non-default decomposition tree (e.g. the fixed
+// home on the 2-ary tree of the sorting studies).
+func atFactory() core.Factory { return strategy.MustGet("at4").Factory }
+func fhFactory() core.Factory { return strategy.MustGet("fixedhome").Factory }
 
 // --- formatting helpers ---
 

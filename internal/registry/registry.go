@@ -1,0 +1,64 @@
+// Package registry implements the name-keyed, concurrency-safe registry
+// shared by the public diva/strategy and diva/topology façades: register
+// at init time (panicking on programming errors, like image format or SQL
+// driver registration), look up by name with an error listing the
+// alternatives, enumerate sorted for help texts.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps names to specs of type T. The kind string ("strategy",
+// "topology") names the spec family in messages.
+type Registry[T any] struct {
+	kind string
+	mu   sync.RWMutex
+	m    map[string]T
+}
+
+// New returns an empty registry for the given spec kind.
+func New[T any](kind string) *Registry[T] {
+	return &Registry[T]{kind: kind, m: make(map[string]T)}
+}
+
+// Register adds a spec under name. An empty name or a duplicate is a
+// programming error and panics; the caller validates spec contents first.
+func (r *Registry[T]) Register(name string, spec T) {
+	if name == "" {
+		panic(fmt.Sprintf("%s: Register needs a name", r.kind))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		panic(fmt.Sprintf("%s: Register called twice for %q", r.kind, name))
+	}
+	r.m[name] = spec
+}
+
+// Get returns the spec registered under name. The error of an unknown
+// name lists the registered alternatives.
+func (r *Registry[T]) Get(name string) (T, error) {
+	r.mu.RLock()
+	spec, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%s: unknown %s %q (have %v)", r.kind, r.kind, name, r.Names())
+	}
+	return spec, nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

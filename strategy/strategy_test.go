@@ -1,0 +1,81 @@
+package strategy_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diva/strategy"
+)
+
+// TestBuiltinRegistry: the paper's eight strategy variants must be
+// registered under their flag names with the trees the paper pairs them
+// with.
+func TestBuiltinRegistry(t *testing.T) {
+	want := []string{"at16", "at2", "at2k4", "at4", "at4k16", "at4k8", "atrandom", "fixedhome"}
+	if got := strategy.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	trees := map[string]string{
+		"fixedhome": "4-ary", "at2": "2-ary", "at4": "4-ary", "at16": "16-ary",
+		"at2k4": "2-4-ary", "at4k8": "4-8-ary", "at4k16": "4-16-ary", "atrandom": "4-ary",
+	}
+	for name, tree := range trees {
+		s, err := strategy.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("Get(%q).Name = %q", name, s.Name)
+		}
+		if got := s.Tree.Name(); got != tree {
+			t.Errorf("Get(%q).Tree = %s, want %s", name, got, tree)
+		}
+		if s.Factory == nil {
+			t.Errorf("Get(%q).Factory is nil", name)
+		}
+		if s.Summary == "" {
+			t.Errorf("Get(%q).Summary is empty", name)
+		}
+	}
+}
+
+// TestGetUnknown: the error of an unknown name lists the alternatives.
+func TestGetUnknown(t *testing.T) {
+	_, err := strategy.Get("nope")
+	if err == nil {
+		t.Fatal("Get(\"nope\") succeeded")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), "at4") {
+		t.Errorf("error %q should name the unknown strategy and the alternatives", err)
+	}
+}
+
+// TestMustGetPanics: MustGet is the panicking variant for registered
+// names.
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(\"nope\") did not panic")
+		}
+	}()
+	strategy.MustGet("nope")
+}
+
+// TestRegisterValidation: registration mistakes are programming errors and
+// panic (like image format or SQL driver registration).
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { strategy.Register(strategy.Spec{Factory: strategy.FixedHome()}) })
+	mustPanic("nil factory", func() { strategy.Register(strategy.Spec{Name: "x"}) })
+	mustPanic("duplicate", func() {
+		strategy.Register(strategy.Spec{Name: "at4", Factory: strategy.FixedHome()})
+	})
+}

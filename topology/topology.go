@@ -1,0 +1,192 @@
+// Package topology is the public façade over the simulator's interconnect
+// implementations: the 2D mesh of the paper's Parsytec GCel, the 2D torus,
+// the hypercube and the binary fat-tree, plus a name-keyed registry through
+// which topologies are selectable by string — from a config file or a CLI
+// flag — without importing their packages.
+//
+// All registry builders take the canonical ROWSxCOLS size of the paper's
+// platform: the mesh and the torus use the dimensions directly, while the
+// hypercube and the fat-tree derive their size from the processor count
+// rows*cols, which must then be a power of two.
+//
+// Applications embedding the simulator can add their own interconnects:
+// implement Topology (see the interface contract) and Register a builder
+// under a fresh name; every data management strategy runs on it unchanged.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+
+	"diva/internal/mesh"
+	"diva/internal/registry"
+)
+
+// The interconnect types, re-exported by alias so embedders never import
+// diva/internal/... directly.
+type (
+	// Topology abstracts the interconnect of the simulated machine: a set
+	// of processor nodes, directed links with stable ids, and a
+	// deterministic shortest-path route between any two processors.
+	Topology = mesh.Topology
+	// Mesh is the paper's platform: an R×C mesh with row-major processor
+	// ids and deterministic XY wormhole routing.
+	Mesh = mesh.Mesh
+	// Torus is the mesh with wrap-around links.
+	Torus = mesh.Torus
+	// Hypercube is the d-dimensional binary cube with e-cube routing.
+	Hypercube = mesh.Hypercube
+	// FatTree is the binary fat-tree with switch nodes, parallel links and
+	// deterministic d-mod-k routing.
+	FatTree = mesh.FatTree
+	// Coord addresses a mesh/torus processor by row and column.
+	Coord = mesh.Coord
+)
+
+// NewMesh returns an R×C mesh. Dimensions must be positive.
+func NewMesh(rows, cols int) (Mesh, error) {
+	if rows <= 0 || cols <= 0 {
+		return Mesh{}, fmt.Errorf("topology: mesh dimensions must be positive, have %dx%d", rows, cols)
+	}
+	return mesh.New(rows, cols), nil
+}
+
+// NewTorus returns an R×C torus. Dimensions must be positive.
+func NewTorus(rows, cols int) (Torus, error) {
+	if rows <= 0 || cols <= 0 {
+		return Torus{}, fmt.Errorf("topology: torus dimensions must be positive, have %dx%d", rows, cols)
+	}
+	return mesh.NewTorus(rows, cols), nil
+}
+
+// NewHypercube returns a hypercube of the given dimension (2^dim
+// processors, 0 <= dim <= 30).
+func NewHypercube(dim int) (Hypercube, error) {
+	if dim < 0 || dim > 30 {
+		return Hypercube{}, fmt.Errorf("topology: hypercube dimension must be in [0, 30], have %d", dim)
+	}
+	return mesh.NewHypercube(dim), nil
+}
+
+// NewFatTree returns a binary fat-tree of the given height (2^height
+// hosts, 0 <= height <= 24).
+func NewFatTree(height int) (FatTree, error) {
+	if height < 0 || height > 24 {
+		return FatTree{}, fmt.Errorf("topology: fat-tree height must be in [0, 24], have %d", height)
+	}
+	return mesh.NewFatTree(height), nil
+}
+
+// Builder constructs a topology from the canonical ROWSxCOLS machine size.
+// Builders for non-grid topologies derive their shape from the processor
+// count rows*cols.
+type Builder func(rows, cols int) (Topology, error)
+
+// Spec is one registry entry: a named, documented topology builder.
+type Spec struct {
+	// Name is the registry key ("mesh", "torus", ...), as used by
+	// -topology flags and configuration files.
+	Name string
+	// Summary is a one-line description for help texts.
+	Summary string
+	// Build constructs the topology for a machine size.
+	Build Builder
+}
+
+var reg = registry.New[Spec]("topology")
+
+// Register adds a topology to the registry. Registration happens at
+// program initialization (from an init function, like image format or SQL
+// driver registration), so programming errors — an empty name, a nil
+// builder, a duplicate — panic rather than returning an error.
+func Register(s Spec) {
+	if s.Name == "" || s.Build == nil {
+		panic("topology: Register needs a name and a builder")
+	}
+	reg.Register(s.Name, s)
+}
+
+// Get returns the registered topology spec for name. The error of an
+// unknown name lists the registered alternatives.
+func Get(name string) (Spec, error) { return reg.Get(name) }
+
+// Build resolves name through the registry and builds the topology for the
+// canonical ROWSxCOLS machine size.
+func Build(name string, rows, cols int) (Topology, error) {
+	s, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(rows, cols)
+}
+
+// Names returns the registered topology names, sorted.
+func Names() []string { return reg.Names() }
+
+// pow2Dim returns log2(rows*cols) for the builders whose size is derived
+// from the processor count.
+func pow2Dim(kind string, rows, cols int) (int, error) {
+	if rows <= 0 || cols <= 0 {
+		return 0, fmt.Errorf("topology: %s size must be positive, have %dx%d", kind, rows, cols)
+	}
+	n := rows * cols
+	if n&(n-1) != 0 {
+		return 0, fmt.Errorf("topology: %s needs a power-of-two processor count, have %d", kind, n)
+	}
+	return bits.Len(uint(n)) - 1, nil
+}
+
+func init() {
+	Register(Spec{
+		Name:    "mesh",
+		Summary: "2D mesh (the paper's Parsytec GCel platform)",
+		Build: func(rows, cols int) (Topology, error) {
+			m, err := NewMesh(rows, cols)
+			if err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	})
+	Register(Spec{
+		Name:    "torus",
+		Summary: "2D torus: the mesh with wrap-around links",
+		Build: func(rows, cols int) (Topology, error) {
+			t, err := NewTorus(rows, cols)
+			if err != nil {
+				return nil, err
+			}
+			return t, nil
+		},
+	})
+	Register(Spec{
+		Name:    "hypercube",
+		Summary: "binary hypercube with e-cube routing (rows*cols must be a power of two)",
+		Build: func(rows, cols int) (Topology, error) {
+			dim, err := pow2Dim("hypercube", rows, cols)
+			if err != nil {
+				return nil, err
+			}
+			h, err := NewHypercube(dim)
+			if err != nil {
+				return nil, err
+			}
+			return h, nil
+		},
+	})
+	Register(Spec{
+		Name:    "fattree",
+		Summary: "binary fat-tree with switch nodes and d-mod-k routing (rows*cols must be a power of two)",
+		Build: func(rows, cols int) (Topology, error) {
+			h, err := pow2Dim("fat-tree", rows, cols)
+			if err != nil {
+				return nil, err
+			}
+			ft, err := NewFatTree(h)
+			if err != nil {
+				return nil, err
+			}
+			return ft, nil
+		},
+	})
+}

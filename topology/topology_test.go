@@ -1,0 +1,104 @@
+package topology_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"diva/topology"
+)
+
+// TestBuiltinRegistry: the four interconnects must be registered under
+// their flag names and build the expected processor counts from the
+// canonical ROWSxCOLS size.
+func TestBuiltinRegistry(t *testing.T) {
+	want := []string{"fattree", "hypercube", "mesh", "torus"}
+	if got := topology.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		s, err := topology.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if s.Summary == "" {
+			t.Errorf("Get(%q).Summary is empty", name)
+		}
+		tp, err := topology.Build(name, 8, 8)
+		if err != nil {
+			t.Fatalf("Build(%q, 8, 8): %v", name, err)
+		}
+		if tp.N() != 64 {
+			t.Errorf("Build(%q, 8, 8).N() = %d, want 64", name, tp.N())
+		}
+	}
+	// Non-square grids: direct for mesh/torus, processor count for the
+	// derived topologies.
+	if tp, err := topology.Build("mesh", 2, 8); err != nil || tp.N() != 16 {
+		t.Errorf("Build(mesh, 2, 8) = %v, %v", tp, err)
+	}
+	if tp, err := topology.Build("hypercube", 2, 8); err != nil || tp.N() != 16 {
+		t.Errorf("Build(hypercube, 2, 8) = %v, %v", tp, err)
+	}
+}
+
+// TestBuildErrors: invalid sizes come back as errors naming the problem.
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+		want       string
+	}{
+		{"mesh", 0, 4, "must be positive"},
+		{"torus", 4, -1, "must be positive"},
+		{"hypercube", 3, 3, "power-of-two"},
+		{"fattree", 5, 5, "power-of-two"},
+		{"ring", 4, 4, "unknown topology"},
+	}
+	for _, tc := range cases {
+		_, err := topology.Build(tc.name, tc.rows, tc.cols)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Build(%q, %d, %d): err = %v, want mention of %q",
+				tc.name, tc.rows, tc.cols, err, tc.want)
+		}
+	}
+}
+
+// TestConstructorValidation: the direct constructors validate their
+// arguments instead of panicking like the internal ones.
+func TestConstructorValidation(t *testing.T) {
+	if _, err := topology.NewMesh(0, 1); err == nil {
+		t.Error("NewMesh(0, 1) succeeded")
+	}
+	if _, err := topology.NewTorus(1, 0); err == nil {
+		t.Error("NewTorus(1, 0) succeeded")
+	}
+	if _, err := topology.NewHypercube(-1); err == nil {
+		t.Error("NewHypercube(-1) succeeded")
+	}
+	if _, err := topology.NewFatTree(25); err == nil {
+		t.Error("NewFatTree(25) succeeded")
+	}
+	if hc, err := topology.NewHypercube(5); err != nil || hc.N() != 32 {
+		t.Errorf("NewHypercube(5) = %v, %v", hc, err)
+	}
+}
+
+// TestRegisterValidation: registration mistakes are programming errors and
+// panic.
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	builder := func(rows, cols int) (topology.Topology, error) {
+		return topology.NewMesh(rows, cols)
+	}
+	mustPanic("empty name", func() { topology.Register(topology.Spec{Build: builder}) })
+	mustPanic("nil builder", func() { topology.Register(topology.Spec{Name: "x"}) })
+	mustPanic("duplicate", func() { topology.Register(topology.Spec{Name: "mesh", Build: builder}) })
+}
