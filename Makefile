@@ -35,10 +35,28 @@ bench:
 		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
-# bench-check runs bench and then validates the emitted JSON: it must
-# parse and contain a completed entry for every BenchmarkFig the test
-# binary lists (guards the cmd/benchjson pipeline from silent drift).
-bench-check: bench
+# bench-check runs the benchmark suite into a scratch file (the committed
+# BENCH_<date>.json baseline is never clobbered) and validates the pipeline
+# end to end: the JSON must parse and cover every BenchmarkFig the test
+# binary lists, and `benchjson -diff` gates it against the latest committed
+# BENCH_*.json in the tree — failing on >50% ns/op regressions and, with zero
+# tolerance, on ANY simulated-metric drift (the metrics are deterministic,
+# so a drift means the simulation semantics changed).
+# The baseline is the newest BENCH_*.json known to git (a local `make
+# bench` for a new date must not silently replace the gate's reference);
+# MAX_REGRESS is overridable because absolute ns/op is machine-relative —
+# CI compares cross-machine and passes a loose bound, the simulated-metric
+# check stays zero-tolerance everywhere.
+BASELINE = $(lastword $(sort $(shell git ls-files 'BENCH_*.json')))
+MAX_REGRESS ?= 50
+bench-check:
+	$(GO) test -run '^$$' -bench BenchmarkFig -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson > .bench-new.json
 	$(GO) test -run '^$$' -list 'BenchmarkFig.*' . | grep '^Benchmark' > .benchlist.txt
-	$(GO) run ./cmd/benchjson -check BENCH_$(DATE).json -expect .benchlist.txt
-	@rm -f .benchlist.txt
+	$(GO) run ./cmd/benchjson -check .bench-new.json -expect .benchlist.txt
+	@if [ -n "$(BASELINE)" ]; then \
+		$(GO) run ./cmd/benchjson -diff -max-regress $(MAX_REGRESS) "$(BASELINE)" .bench-new.json; \
+	else \
+		echo "bench-check: no committed BENCH_*.json baseline, skipping diff"; \
+	fi
+	@rm -f .benchlist.txt .bench-new.json

@@ -9,11 +9,20 @@
 //
 //	go test -run '^$' -bench BenchmarkFig -benchmem . | benchjson > BENCH_2026-07-26.json
 //	benchjson -check BENCH_2026-07-26.json -expect benchlist.txt
+//	benchjson -diff BENCH_old.json BENCH_new.json [-max-regress 50]
 //
 // Check mode guards the pipeline against silent drift: it verifies the
 // emitted file parses, that every benchmark named in -expect (one name per
 // line, as printed by `go test -list`) is present, and that every entry
 // recorded an iteration count and a positive ns/op.
+//
+// Diff mode compares two emitted documents benchmark by benchmark and
+// fails when new is worse than old: an ns/op regression beyond
+// -max-regress percent (generous by default — CI runs single iterations
+// on shared machines, so wall-clock wobbles), a benchmark that
+// disappeared, or — with zero tolerance — ANY drift in a reported
+// simulated metric (congestion, simulated time): those are deterministic,
+// so any change means the simulation semantics changed, not the machine.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,7 +48,20 @@ type result struct {
 func main() {
 	check := flag.String("check", "", "validate an emitted BENCH_<date>.json instead of converting stdin")
 	expect := flag.String("expect", "", "check mode: file listing required benchmark names, one per line")
+	diff := flag.Bool("diff", false, "compare two BENCH json files: benchjson -diff old.json new.json")
+	maxRegress := flag.Float64("max-regress", 50, "diff mode: max tolerated ns/op regression in percent")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *check != "" {
 		if err := runCheck(*check, *expect); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -106,19 +129,95 @@ func main() {
 	}
 }
 
-// runCheck validates an emitted JSON document: it must parse, contain
-// every expected benchmark, and every entry must have run.
-func runCheck(path, expectPath string) error {
+// loadResults reads and parses an emitted BENCH json document.
+func loadResults(path string) (map[string]result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	got := make(map[string]result)
 	if err := json.Unmarshal(data, &got); err != nil {
-		return fmt.Errorf("%s does not parse: %w", path, err)
+		return nil, fmt.Errorf("%s does not parse: %w", path, err)
 	}
 	if len(got) == 0 {
-		return fmt.Errorf("%s contains no benchmark entries", path)
+		return nil, fmt.Errorf("%s contains no benchmark entries", path)
+	}
+	return got, nil
+}
+
+// runDiff compares new against old: it fails on a missing benchmark, an
+// ns/op regression beyond maxRegress percent, or any simulated-metric
+// drift (zero tolerance: the metrics are deterministic). New benchmarks
+// and new metrics are reported but allowed — the suite is expected to
+// grow.
+func runDiff(oldPath, newPath string, maxRegress float64) error {
+	old, err := loadResults(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadResults(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var problems []string
+	compared, added := 0, 0
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			added++
+		}
+	}
+	for _, name := range names {
+		o := old[name]
+		n, ok := cur[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: benchmark disappeared", name))
+			continue
+		}
+		compared++
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+maxRegress/100) {
+			problems = append(problems, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+				name, 100*(n.NsPerOp/o.NsPerOp-1), o.NsPerOp, n.NsPerOp, maxRegress))
+		}
+		metrics := make([]string, 0, len(o.Metrics))
+		for unit := range o.Metrics {
+			metrics = append(metrics, unit)
+		}
+		sort.Strings(metrics)
+		for _, unit := range metrics {
+			want := o.Metrics[unit]
+			got, ok := n.Metrics[unit]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: simulated metric %q disappeared", name, unit))
+				continue
+			}
+			if got != want {
+				problems = append(problems, fmt.Sprintf("%s: simulated metric %q drifted: %v -> %v (must be bit-identical)",
+					name, unit, want, got))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "benchjson: DIFF:", p)
+		}
+		return fmt.Errorf("%d problem(s) comparing %s -> %s", len(problems), oldPath, newPath)
+	}
+	fmt.Printf("benchjson: %s -> %s ok (%d benchmarks compared, %d added, ns/op within %.0f%%, simulated metrics identical)\n",
+		oldPath, newPath, compared, added, maxRegress)
+	return nil
+}
+
+// runCheck validates an emitted JSON document: it must parse, contain
+// every expected benchmark, and every entry must have run.
+func runCheck(path, expectPath string) error {
+	got, err := loadResults(path)
+	if err != nil {
+		return err
 	}
 	var missing, broken []string
 	for name, r := range got {

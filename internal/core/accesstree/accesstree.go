@@ -99,11 +99,16 @@ type strategy struct {
 	opts Options
 	// remaps counts node migrations across all variables (ablation D3).
 	remaps int
-	// reqFree recycles transaction records (and their path buffers and
-	// futures); nodeFree recycles dense node tables of freed variables.
-	// The simulation is single-threaded, so plain slices suffice.
-	reqFree  []*reqMsg
+	// txns arena-allocates transaction records (reqMsg + path buffer +
+	// future) in slabs; nodeFree recycles dense node tables of freed
+	// variables. The simulation is single-threaded, so plain slices suffice.
+	txns     core.TxnArena[reqMsg]
 	nodeFree [][]nodeState
+	// posTabs caches the modular embedding per root position: the positions
+	// of all tree nodes are a pure function of the root's processor, so all
+	// variables rooted at the same processor share one table and posOf
+	// becomes a slice lookup instead of an O(depth) arithmetic walk.
+	posTabs [][]int
 }
 
 func newStrategy(m *core.Machine, o Options) *strategy {
@@ -120,6 +125,9 @@ func newStrategy(m *core.Machine, o Options) *strategy {
 			len(m.Tree.Nodes), limit))
 	}
 	s := &strategy{m: m, t: m.Tree, rng: m.RNG.Split(), opts: o}
+	if !o.RandomEmbedding {
+		s.posTabs = make([][]int, m.P())
+	}
 	net := m.Net
 	net.Handle(kindReadReq, s.onReq)
 	net.Handle(kindReadData, s.onData)
@@ -148,6 +156,9 @@ type varState struct {
 	rootPos int    // processor the tree root is embedded at
 	seed    uint64 // for the random-embedding ablation
 	creator int    // processor that created the variable
+	// posTab maps tree node id to simulating processor under the modular
+	// embedding (shared per root position; nil for the random embedding).
+	posTab []int
 	// nodes holds the state of every tree node, indexed by tree node id.
 	// The dense table replaces the old map of deviations: a protocol hop
 	// touches it once per message, and the slice index beats the map hash
@@ -241,10 +252,11 @@ func (s *strategy) defaultToward(vs *varState, id int) int32 {
 }
 
 // posOf computes the processor simulating a tree node under the
-// variable's embedding. The modular embedding derives positions
-// root-down; the random embedding is a pure hash. Cost is O(depth)
-// arithmetic, no messages and no allocation: the embedding is globally
-// known given the variable's root placement.
+// variable's embedding: a table lookup for the modular embedding (the
+// positions are a pure function of the root placement, precomputed once
+// per root processor and shared by all its variables), a pure hash for the
+// random embedding. No messages and no allocation either way: the
+// embedding is globally known given the variable's root placement.
 func (s *strategy) posOf(vs *varState, id int) int {
 	if s.opts.RandomEmbedding {
 		if vs.posOverride != nil {
@@ -254,17 +266,19 @@ func (s *strategy) posOf(vs *varState, id int) int {
 		}
 		return s.t.RandomPos(vs.seed, id)
 	}
-	var chain [128]int32
-	n := 0
-	for cur := id; cur != -1; cur = s.t.Nodes[cur].Parent {
-		chain[n] = int32(cur)
-		n++
+	return vs.posTab[id]
+}
+
+// posTable returns the shared node→processor table for a root position,
+// computing it on first use (one EmbedAll pass, identical to the old
+// per-hop root-down walk).
+func (s *strategy) posTable(rootPos int) []int {
+	if tab := s.posTabs[rootPos]; tab != nil {
+		return tab
 	}
-	pos := vs.rootPos
-	for i := n - 2; i >= 0; i-- {
-		pos = s.t.EmbedChild(pos, int(chain[i]))
-	}
-	return pos
+	tab := s.t.EmbedAll(rootPos)
+	s.posTabs[rootPos] = tab
+	return tab
 }
 
 // procOf returns the processor simulating tree node id.
@@ -278,6 +292,9 @@ func (s *strategy) InitVar(v *Variable) {
 		seed:    s.rng.Uint64(),
 		creator: v.Creator,
 	}
+	if !s.opts.RandomEmbedding {
+		vs.posTab = s.posTable(vs.rootPos)
+	}
 	if n := len(s.nodeFree); n > 0 {
 		vs.nodes = s.nodeFree[n-1]
 		s.nodeFree = s.nodeFree[:n-1]
@@ -286,6 +303,7 @@ func (s *strategy) InitVar(v *Variable) {
 	}
 	s.initNodes(vs)
 	v.State = vs
+	v.SetLocal(v.Creator)
 	s.cacheInsert(vs, v, s.t.LeafOfProc[v.Creator], v.Creator)
 }
 
@@ -294,9 +312,14 @@ type Variable = core.Variable
 
 func (s *strategy) FreeVar(v *Variable) {
 	vs := vstate(v)
-	for id := range vs.nodes {
-		if vs.nodes[id].member {
-			s.m.Cache(s.procOf(vs, id)).Remove(atKey{v.ID, id})
+	if s.m.CachesBounded() {
+		// Unbounded caches track nothing, so the member scan (O(tree) per
+		// freed variable — Barnes-Hut frees one per tree cell per step)
+		// only runs when there are cache entries to drop.
+		for id := range vs.nodes {
+			if vs.nodes[id].member {
+				s.m.Cache(s.procOf(vs, id)).Remove(atKey{v.ID, id})
+			}
 		}
 	}
 	s.nodeFree = append(s.nodeFree, vs.nodes)

@@ -50,7 +50,12 @@ func (s *strategy) Read(p *core.Proc, v *Variable) interface{} {
 	vs := vstate(v)
 	leaf := s.t.LeafOfProc[p.ID]
 	if vs.nodes[leaf].member {
-		s.m.Cache(p.ID).Touch(atKey{v.ID, leaf})
+		// Touching the LRU only matters for bounded caches; skipping the
+		// call (and the interface boxing of the key) keeps the 99%-hit
+		// local read path to a few loads.
+		if c := s.m.Cache(p.ID); c.Bounded() {
+			c.Touch(atKey{v.ID, leaf})
+		}
 		return v.Data
 	}
 	req := s.acquireReq(v, leaf)
@@ -60,22 +65,29 @@ func (s *strategy) Read(p *core.Proc, v *Variable) interface{} {
 	return val
 }
 
-// acquireReq returns a fresh transaction record with path = [leaf], reusing
-// a recycled one when available. The path buffer has room for the longest
-// possible pointer chain (a full tree path: up to the root and down to a
-// leaf) so the per-hop appends never reallocate.
+// acquireReq returns a transaction record with path = [leaf] from the
+// strategy's arena (a core.TxnArena slab: every record sits next to its
+// future and its path buffer, carved from per-slab companion blocks). The
+// path buffer has room for the longest possible pointer chain (a full
+// tree path: up to the root and down to a leaf) so the per-hop appends
+// never reallocate.
 func (s *strategy) acquireReq(v *Variable, leaf int) *reqMsg {
-	if n := len(s.reqFree); n > 0 {
-		req := s.reqFree[n-1]
-		s.reqFree = s.reqFree[:n-1]
-		req.v = v
-		req.path = append(req.path[:0], leaf)
-		*req.fut = sim.Future{}
-		return req
+	if s.txns.Init == nil {
+		pathCap := 2*s.t.MaxDepth + 1
+		s.txns.Init = func(recs []reqMsg) {
+			futs := make([]sim.Future, len(recs))
+			paths := make([]int, len(recs)*pathCap)
+			for i := range recs {
+				recs[i].fut = &futs[i]
+				recs[i].path = paths[i*pathCap : i*pathCap : (i+1)*pathCap]
+			}
+		}
 	}
-	path := make([]int, 1, 2*s.t.MaxDepth+1)
-	path[0] = leaf
-	return &reqMsg{v: v, path: path, fut: sim.NewFuture()}
+	req := s.txns.Acquire()
+	req.v = v
+	req.path = append(req.path[:0], leaf)
+	*req.fut = sim.Future{}
+	return req
 }
 
 // releaseReq recycles a completed transaction record. Safe only after the
@@ -85,7 +97,7 @@ func (s *strategy) releaseReq(req *reqMsg) {
 	req.v = nil
 	req.write = false
 	req.val = nil
-	s.reqFree = append(s.reqFree, req)
+	s.txns.Release(req)
 }
 
 // Write implements core.Strategy. The caller holds the exclusive slot: no
@@ -98,7 +110,9 @@ func (s *strategy) Write(p *core.Proc, v *Variable, val interface{}) {
 	if st.member && st.edges == 0 {
 		// Sole copy: a purely local write.
 		v.Data = val
-		s.m.Cache(p.ID).Touch(atKey{v.ID, leaf})
+		if c := s.m.Cache(p.ID); c.Bounded() {
+			c.Touch(atKey{v.ID, leaf})
+		}
 		return
 	}
 	req := s.acquireReq(v, leaf)
@@ -177,6 +191,7 @@ func (s *strategy) serveWrite(req *reqMsg) {
 			st := s.nodePtr(vs, u)
 			st.member = true
 			st.toward = towardSelf
+			req.v.SetLocal(s.procOf(vs, u))
 			s.cacheInsert(vs, req.v, u, s.procOf(vs, u))
 			req.fut.Complete(s.m.K, req.val)
 			return
@@ -233,6 +248,9 @@ func (s *strategy) onInval(m *mesh.Msg) {
 	st.member = false
 	st.toward = s.dirTo(node, from)
 	st.edges = 0
+	if s.t.Nodes[node].Leaf() {
+		v.ClearLocal(s.procOf(vs, node))
+	}
 	s.m.Cache(s.procOf(vs, node)).Remove(atKey{v.ID, node})
 	if forward == 0 {
 		s.sendAck(vs, v, node, from)
@@ -298,6 +316,9 @@ func (s *strategy) onData(m *mesh.Msg) {
 	st.edges |= s.edgeBit(cur, req.path[idx+1])
 	s.cacheInsert(vs, req.v, cur, m.Dst)
 	if idx == 0 {
+		// path[0] is the requester's leaf — the only leaf a request path
+		// can install a copy at (interior path nodes are internal).
+		req.v.SetLocal(m.Dst)
 		if req.write {
 			req.fut.Complete(s.m.K, req.val)
 		} else {
@@ -380,6 +401,9 @@ func (s *strategy) tryEvict(v *Variable, node, proc int) bool {
 	st.member = false
 	st.toward = s.dirTo(node, nb)
 	st.edges = 0
+	if s.t.Nodes[node].Leaf() {
+		v.ClearLocal(proc)
+	}
 	// Clear the neighbor's edge bit immediately: if the notification were
 	// only applied on delivery, two adjacent copies could each observe the
 	// other as "remaining" and both evict, losing the last copy (a real

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"diva/internal/mesh"
 	"diva/internal/sim"
 )
@@ -13,6 +15,36 @@ import (
 //
 // The barrier tree is the machine's decomposition tree under the modular
 // embedding with one randomly placed root, chosen at machine construction.
+//
+// The release direction is batched when it is provably exact: if the
+// kernel is quiescent when the root completes (every process parked in the
+// barrier, nothing else in flight), the whole downward multicast is
+// speculatively replayed inline inside the root-completion event instead
+// of cascading ~2P messages (each two kernel events plus a handler
+// dispatch) through the kernel queue. The replay performs the exact same
+// network charging (send startups, link occupancy, congestion counters,
+// send stats, receive startups) in the exact order the kernel would have —
+// a local (time, seq) min-heap mirrors the queue's tie-breaking — and
+// computes every leaf's precise release time; one kernel event thus
+// releases all leaves of an epoch, and the only queue traffic left is the
+// per-leaf process wakeup.
+//
+// Exactness is enforced, not assumed: a process released early in the
+// epoch starts computing — and sending — while the release is still
+// propagating to other subtrees, and those sends contend for the CPUs and
+// links the remaining release hops charge. The replay therefore journals
+// every charge (Network.InlineBegin) and aborts the moment a charge could
+// have interleaved with an already-released process: any fan-out strictly
+// after the earliest wake-up (links are touchable by a send immediately),
+// or any arrival charge after a wake-up on the same processor or late
+// enough for a released process's first message to have reached it
+// (startup + one hop). On abort the journal restores the network state
+// bit-exactly and the release falls back to the plain message cascade,
+// which is exact by construction. The batch therefore commits only when
+// the release provably finishes before any released process could touch
+// shared state — tight-wake-spread epochs; with the GCel's 100us
+// startups the serialized fan-outs usually spread the wakes enough that
+// the cascade path runs instead (see PERF.md for measured hit rates).
 type barrier struct {
 	m   *Machine
 	pos []int // embedding of every tree node: the simulating processor
@@ -21,6 +53,25 @@ type barrier struct {
 	waiting []*sim.Future // per processor: outstanding completion
 
 	state map[barKey]*barState
+
+	// relHeap is the reusable frontier heap of the batched release replay,
+	// wakeBuf its deferred leaf wake-ups and wokenAt the per-processor wake
+	// times of the epoch being replayed (+Inf = not yet released); msgFree
+	// and stFree recycle the cascade's payload records (the simulation is
+	// single-threaded, plain slices suffice).
+	relHeap []relEvent
+	wakeBuf []relWake
+	wokenAt []sim.Time
+
+	// batched/cascaded count release epochs by path, for tests and PERF.md.
+	batched  uint64
+	cascaded uint64
+	noBatch  bool // test hook: force the cascade path
+
+	// msgs/sts recycle the cascade's payload and combining records through
+	// the package's shared slab arena.
+	msgs TxnArena[barMsg]
+	sts  TxnArena[barState]
 }
 
 type barKey struct {
@@ -51,6 +102,10 @@ func newBarrier(m *Machine) *barrier {
 		state:   make(map[barKey]*barState),
 	}
 	b.pos = m.Tree.EmbedAll(m.Tree.RandomRoot(m.RNG))
+	b.wokenAt = make([]sim.Time, m.P())
+	for i := range b.wokenAt {
+		b.wokenAt[i] = math.Inf(1)
+	}
 	m.Net.Handle(KindBarrierArrive, b.onArrive)
 	m.Net.Handle(KindBarrierRelease, b.onRelease)
 	return b
@@ -58,6 +113,12 @@ func newBarrier(m *Machine) *barrier {
 
 // proc returns the processor simulating tree node n.
 func (b *barrier) proc(n int) int { return b.pos[n] }
+
+// releaseMsg recycles a barrier payload whose message was handled.
+func (b *barrier) releaseMsg(bm *barMsg) {
+	*bm = barMsg{}
+	b.msgs.Release(bm)
+}
 
 // wait enters the barrier from process p, optionally contributing a
 // reduction value.
@@ -75,8 +136,9 @@ func (b *barrier) wait(p *Proc, val interface{}, combine func(a, b interface{}) 
 	}
 	b.waiting[p.ID] = f
 	parent := t.Nodes[leaf].Parent
-	b.m.Net.SendPooled(p.ID, b.proc(parent), BarrierBytes+size, KindBarrierArrive,
-		&barMsg{node: parent, epoch: epoch, val: val, size: size, combine: combine})
+	bm := b.msgs.Acquire()
+	bm.node, bm.epoch, bm.val, bm.size, bm.combine = parent, epoch, val, size, combine
+	b.m.Net.SendPooled(p.ID, b.proc(parent), BarrierBytes+size, KindBarrierArrive, bm)
 	return f.Await(p.Proc)
 }
 
@@ -86,7 +148,8 @@ func (b *barrier) onArrive(m *mesh.Msg) {
 	key := barKey{node: bm.node, epoch: bm.epoch}
 	st := b.state[key]
 	if st == nil {
-		st = &barState{val: bm.val, combine: bm.combine, size: bm.size}
+		st = b.sts.Acquire()
+		st.arrived, st.val, st.combine, st.size = 0, bm.val, bm.combine, bm.size
 		b.state[key] = st
 	} else if st.combine != nil {
 		st.val = st.combine(st.val, bm.val)
@@ -94,29 +157,191 @@ func (b *barrier) onArrive(m *mesh.Msg) {
 	st.arrived++
 	node := &t.Nodes[bm.node]
 	if st.arrived < len(node.Children) {
+		b.releaseMsg(bm)
 		return
 	}
 	delete(b.state, key)
 	if node.Parent == -1 {
 		// Root complete: release downward.
 		b.release(bm.node, bm.epoch, st.val, st.size)
-		return
+		b.releaseMsg(bm)
+	} else {
+		// Forward the combined arrival upward, reusing the payload record.
+		bm.node, bm.val, bm.size, bm.combine = node.Parent, st.val, st.size, st.combine
+		b.m.Net.SendPooled(b.proc(key.node), b.proc(node.Parent), BarrierBytes+st.size,
+			KindBarrierArrive, bm)
 	}
-	b.m.Net.SendPooled(b.proc(bm.node), b.proc(node.Parent), BarrierBytes+st.size,
-		KindBarrierArrive, &barMsg{node: node.Parent, epoch: bm.epoch, val: st.val,
-			size: st.size, combine: st.combine})
+	st.val, st.combine = nil, nil
+	b.sts.Release(st)
 }
 
-// release forwards the release from tree node n to all its children.
+// relEvent is one in-flight release message of the batched replay: the
+// arrival stage charges the receive startup, the ready stage runs the
+// handler effect (fan out further, or wake a leaf). (t, seq) mirrors the
+// kernel queue's (time, schedule order) tie-breaking exactly.
+type relEvent struct {
+	t      sim.Time
+	seq    int32
+	node   int32
+	arrive bool
+}
+
+func relBefore(a, b *relEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// release starts the downward multicast from tree node n at the current
+// simulated time: batched when the kernel is quiescent and the speculative
+// replay proves itself exact, as a per-hop message cascade otherwise.
 func (b *barrier) release(n int, epoch uint64, val interface{}, size int) {
+	if !b.noBatch && b.m.K.Pending() == 0 && b.releaseBatched(n, val, size) {
+		b.batched++
+		return
+	}
+	b.cascaded++
+	b.releaseCascade(n, epoch, val, size)
+}
+
+// releaseCascade forwards the release from tree node n to all its children
+// as real messages (the exact-by-construction fallback).
+func (b *barrier) releaseCascade(n int, epoch uint64, val interface{}, size int) {
 	t := b.m.Tree
 	src := b.proc(n)
 	for _, child := range t.Nodes[n].Children {
 		// A leaf's region is its single processor, so the embedding pins
 		// the leaf to the processor whose process it releases.
-		b.m.Net.SendPooled(src, b.proc(child), BarrierBytes+size, KindBarrierRelease,
-			&barMsg{node: child, epoch: epoch, val: val, size: size})
+		bm := b.msgs.Acquire()
+		bm.node, bm.epoch, bm.val, bm.size = child, epoch, val, size
+		b.m.Net.SendPooled(src, b.proc(child), BarrierBytes+size, KindBarrierRelease, bm)
 	}
+}
+
+// relWake is a leaf release computed by the replay, deferred until the
+// whole replay commits (an abort must not have woken anyone).
+type relWake struct {
+	proc int
+	t    sim.Time
+}
+
+// releaseBatched speculatively replays the whole release multicast inline:
+// every hop's send and receive charging happens through the network's
+// journaled Inline helpers in global (time, schedule order) order, and on
+// commit each leaf's future completes with a wakeup scheduled at its exact
+// release time. It reports false — with all charges reverted — when a
+// charge could have interleaved with an already-released process (see the
+// type comment for the exactness argument).
+func (b *barrier) releaseBatched(root int, val interface{}, size int) bool {
+	tr := b.m.Tree
+	nw := b.m.Net
+	k := b.m.K
+	h := b.relHeap[:0]
+	wakes := b.wakeBuf[:0]
+	minWoken := math.Inf(1)
+	seq := int32(0)
+	push := func(e relEvent) {
+		h = append(h, e)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) >> 1
+			if !relBefore(&h[i], &h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	fan := func(n int, now sim.Time) {
+		src := b.proc(n)
+		for _, child := range tr.Nodes[n].Children {
+			arrive := nw.InlineSendAt(now, src, b.proc(child), BarrierBytes+size,
+				KindBarrierRelease)
+			push(relEvent{t: arrive, seq: seq, node: int32(child), arrive: true})
+			seq++
+		}
+	}
+	abort := func() bool {
+		nw.InlineAbort()
+		for _, w := range wakes {
+			b.wokenAt[w.proc] = math.Inf(1)
+		}
+		b.relHeap, b.wakeBuf = h[:0], wakes[:0]
+		return false
+	}
+	nw.InlineBegin()
+	fan(root, k.Now())
+	for len(h) > 0 {
+		e := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && relBefore(&h[c+1], &h[c]) {
+				c++
+			}
+			if !relBefore(&h[c], &h[i]) {
+				break
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+		if e.arrive {
+			dst := b.proc(int(e.node))
+			// A released process may charge dst's CPU before this arrival:
+			// directly once dst's own process woke, or via a message — which
+			// cannot reach dst earlier than the sender's wake time plus one
+			// send startup and its shortest route (deterministic routes are
+			// shortest paths, so the bound survives relaying by the triangle
+			// inequality; the transmission time > 0 keeps ties safe).
+			if b.wokenAt[dst] < e.t {
+				return abort()
+			}
+			// Fast accept: every sender's bound is at least the earliest
+			// wake plus one startup and one hop (Dist >= 1 for a different
+			// processor), so arrivals inside that window — the common case
+			// of a committing epoch — skip the per-wake scan; this keeps
+			// the gate's cost linear instead of O(arrivals x wakes).
+			if e.t > minWoken+nw.P.StartupSendUS+nw.P.HopLatencyUS {
+				for _, w := range wakes {
+					if w.proc != dst &&
+						w.t+nw.P.StartupSendUS+nw.P.HopLatencyUS*float64(b.m.Topo.Dist(w.proc, dst)) < e.t {
+						return abort()
+					}
+				}
+			}
+			ready := nw.InlineRecvAt(dst, e.t)
+			push(relEvent{t: ready, seq: seq, node: e.node})
+			seq++
+			continue
+		}
+		if node := &tr.Nodes[e.node]; node.Leaf() {
+			proc := b.proc(int(e.node))
+			wakes = append(wakes, relWake{proc: proc, t: e.t})
+			b.wokenAt[proc] = e.t
+			if e.t < minWoken {
+				minWoken = e.t
+			}
+		} else {
+			if minWoken < e.t {
+				return abort()
+			}
+			fan(int(e.node), e.t)
+		}
+	}
+	nw.InlineCommit()
+	for _, w := range wakes {
+		b.wokenAt[w.proc] = math.Inf(1)
+		f := b.waiting[w.proc]
+		b.waiting[w.proc] = nil
+		f.CompleteAt(k, w.t, val)
+	}
+	b.relHeap, b.wakeBuf = h[:0], wakes[:0]
+	return true
 }
 
 func (b *barrier) onRelease(m *mesh.Msg) {
@@ -128,7 +353,8 @@ func (b *barrier) onRelease(m *mesh.Msg) {
 		f := b.waiting[proc]
 		b.waiting[proc] = nil
 		f.Complete(b.m.K, bm.val)
-		return
+	} else {
+		b.releaseCascade(bm.node, bm.epoch, bm.val, bm.size)
 	}
-	b.release(bm.node, bm.epoch, bm.val, bm.size)
+	b.releaseMsg(bm)
 }

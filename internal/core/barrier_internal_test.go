@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"diva/internal/decomp"
+	"diva/internal/mesh"
+)
+
+// fastParams is a machine model with negligible startup costs: release
+// fan-outs are not serialized by 100us startups, so the wake spread stays
+// tight and the speculative batched release can prove itself exact.
+func fastParams() mesh.Params {
+	return mesh.Params{
+		BytesPerUS:      100,
+		HopLatencyUS:    1,
+		StartupSendUS:   2,
+		StartupRecvUS:   2,
+		LocalDeliveryUS: 1,
+	}
+}
+
+// barrierTrajectory runs rounds of barriers (with a reduction every other
+// round) and returns everything observable about the run.
+func barrierTrajectory(t *testing.T, cfg Config, rounds int, noBatch bool) (elapsed float64, cong mesh.Congestion, msgs [256]uint64, batched, cascaded uint64) {
+	t.Helper()
+	m := MustNewMachine(cfg)
+	m.bar.noBatch = noBatch
+	err := m.Run(func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			if r%2 == 1 {
+				got := p.BarrierReduce(p.ID, 8, func(a, b interface{}) interface{} {
+					return a.(int) + b.(int)
+				})
+				want := m.P() * (m.P() - 1) / 2
+				if got != want {
+					t.Errorf("round %d: reduce = %v, want %d", r, got, want)
+				}
+			} else {
+				p.Barrier()
+			}
+			// A short compute keeps processes from re-entering instantly,
+			// the regime where batching can commit.
+			p.Compute(float64(50 + p.ID))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ = m.Net.SendStats()
+	return m.Elapsed(), m.Net.Congestion(nil), msgs, m.bar.batched, m.bar.cascaded
+}
+
+// TestBatchedReleaseMatchesCascade: on machines where the speculative
+// batched release commits, every simulated observable — elapsed time,
+// congestion, per-kind send counts — must be bit-identical to the plain
+// message cascade. This is the exactness contract of the batching gate.
+func TestBatchedReleaseMatchesCascade(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mesh4x4-ary2-gcel", Config{Rows: 4, Cols: 4, Seed: 7, Tree: decomp.Ary2}},
+		{"mesh4x4-ary4", Config{Rows: 4, Cols: 4, Seed: 7, Tree: decomp.Ary4, Net: fastParams()}},
+		{"mesh8x8-ary16", Config{Rows: 8, Cols: 8, Seed: 9, Tree: decomp.Ary16, Net: fastParams()}},
+		{"mesh2x2-ary2", Config{Rows: 2, Cols: 2, Seed: 3, Tree: decomp.Ary2, Net: fastParams()}},
+		{"mesh4x8-gcel", Config{Rows: 4, Cols: 8, Seed: 5, Tree: decomp.Ary4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const rounds = 12
+			elA, congA, msgsA, batched, _ := barrierTrajectory(t, tc.cfg, rounds, false)
+			elB, congB, msgsB, bB, _ := barrierTrajectory(t, tc.cfg, rounds, true)
+			if bB != 0 {
+				t.Fatalf("noBatch run still batched %d epochs", bB)
+			}
+			if elA != elB {
+				t.Errorf("elapsed: batched-gate %v != cascade %v", elA, elB)
+			}
+			if congA != congB {
+				t.Errorf("congestion: batched-gate %+v != cascade %+v", congA, congB)
+			}
+			if msgsA != msgsB {
+				t.Errorf("send stats diverged: %v vs %v",
+					msgsA[KindBarrierRelease], msgsB[KindBarrierRelease])
+			}
+			t.Logf("%s: %d/%d epochs batched", tc.name, batched, rounds)
+		})
+	}
+}
+
+// TestBatchedReleaseCommitsSomewhere guards the fast path against silently
+// rotting: binary decomposition trees keep the release fan-outs (and thus
+// the wake spread) tight enough that the gate commits even with the GCel's
+// 100us startups.
+func TestBatchedReleaseCommitsSomewhere(t *testing.T) {
+	_, _, _, batched, cascaded := barrierTrajectory(t, Config{
+		Rows: 4, Cols: 4, Seed: 7, Tree: decomp.Ary2,
+	}, 12, false)
+	t.Logf("batched=%d cascaded=%d", batched, cascaded)
+	if batched == 0 {
+		t.Fatal("batched release never committed on the low-startup machine")
+	}
+}

@@ -55,6 +55,35 @@ const (
 type strategy struct {
 	m   *core.Machine
 	rng *xrand.RNG
+	// txns arena-allocates transaction records in slabs, each record next
+	// to its future (a core.TxnArena, shared machinery with accesstree).
+	txns core.TxnArena[req]
+}
+
+// acquireReq returns a transaction record from the arena.
+func (s *strategy) acquireReq(v *core.Variable, from int) *req {
+	if s.txns.Init == nil {
+		s.txns.Init = func(recs []req) {
+			futs := make([]sim.Future, len(recs))
+			for i := range recs {
+				recs[i].fut = &futs[i]
+			}
+		}
+	}
+	r := s.txns.Acquire()
+	r.v = v
+	r.from = from
+	*r.fut = sim.Future{}
+	return r
+}
+
+// releaseReq recycles a completed transaction record. Safe only after the
+// requester's Await returned: no message or event references it anymore.
+func (s *strategy) releaseReq(r *req) {
+	r.v = nil
+	r.write = false
+	r.val = nil
+	s.txns.Release(r)
 }
 
 func newStrategy(m *core.Machine) *strategy {
@@ -111,6 +140,7 @@ func (s *strategy) InitVar(v *core.Variable) {
 		holders: map[int]struct{}{v.Creator: {}},
 	}
 	v.State = vs
+	v.SetLocal(v.Creator)
 	s.cacheInsert(v, v.Creator)
 }
 
@@ -126,12 +156,16 @@ func (s *strategy) FreeVar(v *core.Variable) {
 func (s *strategy) Read(p *core.Proc, v *core.Variable) interface{} {
 	vs := vstate(v)
 	if _, ok := vs.holders[p.ID]; ok {
-		s.m.Cache(p.ID).Touch(fhKey{v.ID, p.ID})
+		if c := s.m.Cache(p.ID); c.Bounded() {
+			c.Touch(fhKey{v.ID, p.ID})
+		}
 		return v.Data
 	}
-	r := &req{v: v, from: p.ID, fut: sim.NewFuture()}
+	r := s.acquireReq(v, p.ID)
 	s.m.Net.SendPooled(p.ID, vs.home, core.ReadReqBytes, kindReadReq, r)
-	return r.fut.Await(p.Proc)
+	val := r.fut.Await(p.Proc)
+	s.releaseReq(r)
+	return val
 }
 
 func (s *strategy) onReadReq(m *mesh.Msg) {
@@ -159,6 +193,7 @@ func (s *strategy) onFetchData(m *mesh.Msg) {
 	vs := vstate(r.v)
 	vs.owner = vs.home
 	vs.holders[vs.home] = struct{}{}
+	r.v.SetLocal(vs.home)
 	s.cacheInsert(r.v, vs.home)
 	s.replyData(r)
 }
@@ -173,6 +208,7 @@ func (s *strategy) onData(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	vs := vstate(r.v)
 	vs.holders[r.from] = struct{}{}
+	r.v.SetLocal(r.from)
 	s.cacheInsert(r.v, r.from)
 	r.fut.Complete(s.m.K, r.v.Data)
 }
@@ -183,12 +219,17 @@ func (s *strategy) Write(p *core.Proc, v *core.Variable, val interface{}) {
 	if vs.owner == p.ID {
 		// "Write accesses of the owner can be served locally."
 		v.Data = val
-		s.m.Cache(p.ID).Touch(fhKey{v.ID, p.ID})
+		if c := s.m.Cache(p.ID); c.Bounded() {
+			c.Touch(fhKey{v.ID, p.ID})
+		}
 		return
 	}
-	r := &req{v: v, from: p.ID, write: true, val: val, fut: sim.NewFuture()}
+	r := s.acquireReq(v, p.ID)
+	r.write = true
+	r.val = val
 	s.m.Net.SendPooled(p.ID, vs.home, core.InvalBytes, kindWriteReq, r)
 	r.fut.Await(p.Proc)
+	s.releaseReq(r)
 }
 
 func (s *strategy) onWriteReq(m *mesh.Msg) {
@@ -242,6 +283,8 @@ func (s *strategy) finishWrite(r *req) {
 	}
 	vs.owner = r.from
 	vs.holders[r.from] = struct{}{}
+	r.v.ClearAllLocal()
+	r.v.SetLocal(r.from)
 	s.m.Net.SendPooled(vs.home, r.from, core.GrantBytes, kindGrant, r)
 }
 
@@ -285,6 +328,7 @@ func (s *strategy) tryEvict(v *core.Variable, proc int) bool {
 		return false
 	}
 	delete(vs.holders, proc)
+	v.ClearLocal(proc)
 	s.m.Cache(proc).Remove(fhKey{v.ID, proc})
 	// Notify the home so the directory stays exact (a real implementation
 	// may also use lazy directory cleaning; the message keeps congestion

@@ -92,6 +92,9 @@ type Machine struct {
 	Strat  Strategy
 	vars   []*Variable
 	caches []Cache
+	// fastLocal enables the local-read fast path: unbounded caches mean a
+	// local hit involves no replacement bookkeeping at all.
+	fastLocal bool
 
 	bar *barrier
 
@@ -141,6 +144,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	for i := range m.caches {
 		m.caches[i].capacity = cfg.CacheCapacity
 	}
+	m.fastLocal = cfg.CacheCapacity == 0
 	m.bar = newBarrier(m)
 	if cfg.Strategy != nil {
 		m.Strat = cfg.Strategy(m)
@@ -179,6 +183,10 @@ func (m *Machine) Var(id VarID) *Variable {
 
 // Cache returns node's copy cache (used by strategies).
 func (m *Machine) Cache(node int) *Cache { return &m.caches[node] }
+
+// CachesBounded reports whether the machine's caches enforce a capacity
+// (strategies skip all replacement bookkeeping when they do not).
+func (m *Machine) CachesBounded() bool { return m.Cfg.CacheCapacity > 0 }
 
 // Proc is a simulated application process pinned to one processor.
 type Proc struct {
@@ -259,6 +267,14 @@ func (m *Machine) Free(id VarID) {
 // according to the machine's strategy. Blocks until the value is local.
 func (p *Proc) Read(id VarID) interface{} {
 	v := p.M.Var(id)
+	// Local-hit fast path (the force phase of Barnes-Hut hits ~99%): with
+	// unbounded caches a local read has no protocol action and no LRU
+	// bookkeeping, and since it cannot block, the reader-count round-trip
+	// through the rw queue is unobservable — one bitmap load replaces the
+	// strategy dispatch and its pointer chase through the variable state.
+	if p.M.fastLocal && !v.rw.writer && len(v.rw.waiters) == 0 && v.LocalBit(p.ID) {
+		return v.Data
+	}
 	v.acquireRead(p)
 	val := p.M.Strat.Read(p, v)
 	v.releaseRead(p.M.K)

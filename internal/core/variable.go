@@ -20,6 +20,43 @@ type Variable struct {
 	LockState interface{}
 
 	rw rwQueue
+
+	// local is a per-processor valid-copy bitmap maintained by the
+	// strategies (SetLocal/ClearLocal): bit p set means processor p can
+	// serve a read from its local copy with no protocol action. It backs
+	// the machine's read fast path on unbounded-cache machines — one load
+	// next to the rw state instead of the pointer chase through State.
+	// Processors >= localBits (larger machines than the paper ever
+	// measures) simply never take the fast path.
+	local [localBits / 64]uint64
+}
+
+// localBits caps the processors covered by the local-copy bitmap (the
+// paper's largest configuration is 512).
+const localBits = 512
+
+// LocalBit reports whether processor p holds a locally readable copy.
+func (v *Variable) LocalBit(p int) bool {
+	return p < localBits && v.local[p>>6]>>(uint(p)&63)&1 == 1
+}
+
+// SetLocal marks processor p as holding a locally readable copy.
+func (v *Variable) SetLocal(p int) {
+	if p < localBits {
+		v.local[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// ClearLocal removes processor p from the local-copy bitmap.
+func (v *Variable) ClearLocal(p int) {
+	if p < localBits {
+		v.local[p>>6] &^= 1 << (uint(p) & 63)
+	}
+}
+
+// ClearAllLocal empties the local-copy bitmap (write invalidation).
+func (v *Variable) ClearAllLocal() {
+	v.local = [localBits / 64]uint64{}
 }
 
 // rwQueue serializes transactions on one variable: concurrent readers are

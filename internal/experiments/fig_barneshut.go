@@ -126,41 +126,19 @@ func (r *Runner) runBarnesHut(rows, cols, n int, s strategyUnderTest, concurrent
 
 // bhSweep runs (and caches) the full Figures 8-10 sweep. The
 // (strategy, N) cells are independent simulations, so when the runner has
-// workers they fan out across the pool first (the in-figure fan-out of the
-// topologies sweep); the rows are then assembled from the cache in
-// deterministic order, making the result identical to a sequential sweep.
+// workers they fan out across the shared global pool first; the rows are
+// then assembled from the cache in deterministic order, making the result
+// identical to a sequential sweep.
 func (r *Runner) bhSweep() (map[string][]bhRow, error) {
 	side := r.bhMeshSide()
 	strategies := bhStrategies()
 	sizes := r.bhSizes()
-	if workers := r.Workers; workers > 1 {
-		type cell struct {
-			s strategyUnderTest
-			n int
-		}
-		cells := make([]cell, 0, len(strategies)*len(sizes))
-		for _, s := range strategies {
-			for _, n := range sizes {
-				cells = append(cells, cell{s, n})
-			}
-		}
-		errs := make([]error, len(cells))
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i, c := range cells {
-			wg.Add(1)
-			go func(i int, c cell) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				_, errs[i] = r.runBarnesHut(side, side, c.n, c.s, true)
-			}(i, c)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+	if r.Workers > 1 {
+		_, err := runCells(r, len(strategies)*len(sizes), func(i int, concurrent bool) (bhRow, error) {
+			return r.runBarnesHut(side, side, sizes[i%len(sizes)], strategies[i/len(sizes)], concurrent)
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	out := make(map[string][]bhRow)

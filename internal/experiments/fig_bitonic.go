@@ -11,8 +11,9 @@ import (
 // runBitonic measures one (mesh, keys, strategy) configuration with
 // execution time (the paper: local computation is very limited, so the
 // execution time is reported; we charge the compare/merge costs).
-func (r *Runner) runBitonic(side, keys int, f core.Factory, spec decomp.Spec) (mmPoint, error) {
-	m := r.machine(side, side, f, spec)
+// concurrent marks a call from a cell fan-out (results are unaffected).
+func (r *Runner) runBitonic(side, keys int, f core.Factory, spec decomp.Spec, concurrent bool) (mmPoint, error) {
+	m := r.machineConc(side, side, f, spec, concurrent)
 	cfg := bitonic.Config{
 		KeysPerProc: keys, Seed: r.Seed,
 		WithCompute: true, CompareUS: 1.0,
@@ -53,24 +54,28 @@ func (r *Runner) Fig6() error {
 	}
 	r.header(fmt.Sprintf("Figure 6: bitonic sorting on a %dx%d mesh (ratios vs hand-optimized)", side, side))
 
+	fh, at := fhFactory(), atFactory()
+	cells, err := runRatioCells(r, len(keys), func(row, kind int, concurrent bool) (mmPoint, error) {
+		switch kind {
+		case 0:
+			return r.runBitonic(side, keys[row], nil, decomp.Ary2, concurrent)
+		case 1:
+			return r.runBitonic(side, keys[row], fh, decomp.Ary2, concurrent)
+		default:
+			return r.runBitonic(side, keys[row], at, decomp.Ary2K4, concurrent)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
 	rows := [][]string{{"keys", "congFH", "congAT24", "AT/FH", "timeFH", "timeAT24", "AT/FH", "", "paper(16x16): congFH", "congAT24", "timeFH", "timeAT24"}}
-	for _, k := range keys {
-		hand, err := r.runBitonic(side, k, nil, decomp.Ary2)
-		if err != nil {
-			return err
-		}
-		fh, err := r.runBitonic(side, k, fhFactory(), decomp.Ary2)
-		if err != nil {
-			return err
-		}
-		at, err := r.runBitonic(side, k, atFactory(), decomp.Ary2K4)
-		if err != nil {
-			return err
-		}
-		congFH := float64(fh.congBytes) / float64(hand.congBytes)
-		congAT := float64(at.congBytes) / float64(hand.congBytes)
-		timeFH := fh.timeUS / hand.timeUS
-		timeAT := at.timeUS / hand.timeUS
+	for i, k := range keys {
+		c := cells[i]
+		congFH := float64(c.fh.congBytes) / float64(c.hand.congBytes)
+		congAT := float64(c.at.congBytes) / float64(c.hand.congBytes)
+		timeFH := c.fh.timeUS / c.hand.timeUS
+		timeAT := c.at.timeUS / c.hand.timeUS
 		p := fig6Paper[k]
 		rows = append(rows, []string{
 			fmt.Sprint(k),
@@ -104,24 +109,28 @@ func (r *Runner) Fig7() error {
 	}
 	r.header(fmt.Sprintf("Figure 7: bitonic sorting with %d keys per processor (ratios vs hand-optimized)", keys))
 
+	fh, at := fhFactory(), atFactory()
+	cells, err := runRatioCells(r, len(sides), func(row, kind int, concurrent bool) (mmPoint, error) {
+		switch kind {
+		case 0:
+			return r.runBitonic(sides[row], keys, nil, decomp.Ary2, concurrent)
+		case 1:
+			return r.runBitonic(sides[row], keys, fh, decomp.Ary2, concurrent)
+		default:
+			return r.runBitonic(sides[row], keys, at, decomp.Ary2K4, concurrent)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
 	rows := [][]string{{"mesh", "congFH", "congAT24", "AT/FH", "timeFH", "timeAT24", "AT/FH", "", "paper(4096): congFH", "congAT24", "timeFH", "timeAT24"}}
-	for _, side := range sides {
-		hand, err := r.runBitonic(side, keys, nil, decomp.Ary2)
-		if err != nil {
-			return err
-		}
-		fh, err := r.runBitonic(side, keys, fhFactory(), decomp.Ary2)
-		if err != nil {
-			return err
-		}
-		at, err := r.runBitonic(side, keys, atFactory(), decomp.Ary2K4)
-		if err != nil {
-			return err
-		}
-		congFH := float64(fh.congBytes) / float64(hand.congBytes)
-		congAT := float64(at.congBytes) / float64(hand.congBytes)
-		timeFH := fh.timeUS / hand.timeUS
-		timeAT := at.timeUS / hand.timeUS
+	for i, side := range sides {
+		c := cells[i]
+		congFH := float64(c.fh.congBytes) / float64(c.hand.congBytes)
+		congAT := float64(c.at.congBytes) / float64(c.hand.congBytes)
+		timeFH := c.fh.timeUS / c.hand.timeUS
+		timeAT := c.at.timeUS / c.hand.timeUS
 		p := fig7Paper[side]
 		rows = append(rows, []string{
 			fmt.Sprintf("%dx%d", side, side),

@@ -24,10 +24,34 @@ func runMatmulOn(m *core.Machine, blockInts int, seed uint64) (float64, error) {
 	return res.ElapsedUS, nil
 }
 
+// mmRatioRow holds the three cells of one ratio-figure row.
+type mmRatioRow struct {
+	hand, fh, at mmPoint
+}
+
+// runRatioCells evaluates the rows of a matmul/bitonic ratio figure —
+// (hand-optimized, fixed home, access tree) per parameter value — through
+// the runner's cell fan-out: every cell is an independent simulation, so
+// they spread across the shared worker pool and reassemble in row order.
+func runRatioCells(r *Runner, n int, cell func(row, kind int, concurrent bool) (mmPoint, error)) ([]mmRatioRow, error) {
+	points, err := runCells(r, 3*n, func(i int, concurrent bool) (mmPoint, error) {
+		return cell(i/3, i%3, concurrent)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]mmRatioRow, n)
+	for i := range rows {
+		rows[i] = mmRatioRow{hand: points[3*i], fh: points[3*i+1], at: points[3*i+2]}
+	}
+	return rows, nil
+}
+
 // runMatmul measures one (mesh, block, strategy) configuration in the
-// paper's communication-time mode.
-func (r *Runner) runMatmul(side, blockInts int, f core.Factory, spec decomp.Spec) (mmPoint, error) {
-	m := r.machine(side, side, f, spec)
+// paper's communication-time mode. concurrent marks a call from a cell
+// fan-out (simulated results are unaffected).
+func (r *Runner) runMatmul(side, blockInts int, f core.Factory, spec decomp.Spec, concurrent bool) (mmPoint, error) {
+	m := r.machineConc(side, side, f, spec, concurrent)
 	cfg := matmul.Config{BlockInts: blockInts, Seed: r.Seed}
 	var (
 		res matmul.Result
@@ -66,24 +90,28 @@ func (r *Runner) Fig3() error {
 	}
 	r.header(fmt.Sprintf("Figure 3: matrix multiplication on a %dx%d mesh (ratios vs hand-optimized)", side, side))
 
+	fh, at := fhFactory(), atFactory()
+	cells, err := runRatioCells(r, len(blocks), func(row, kind int, concurrent bool) (mmPoint, error) {
+		switch kind {
+		case 0:
+			return r.runMatmul(side, blocks[row], nil, decomp.Ary2, concurrent)
+		case 1:
+			return r.runMatmul(side, blocks[row], fh, decomp.Ary4, concurrent)
+		default:
+			return r.runMatmul(side, blocks[row], at, decomp.Ary4, concurrent)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
 	rows := [][]string{{"block", "congFH", "congAT4", "AT/FH", "timeFH", "timeAT4", "AT/FH", "", "paper(16x16): congFH", "congAT4", "timeFH", "timeAT4"}}
-	for _, blk := range blocks {
-		hand, err := r.runMatmul(side, blk, nil, decomp.Ary2)
-		if err != nil {
-			return err
-		}
-		fh, err := r.runMatmul(side, blk, fhFactory(), decomp.Ary4)
-		if err != nil {
-			return err
-		}
-		at, err := r.runMatmul(side, blk, atFactory(), decomp.Ary4)
-		if err != nil {
-			return err
-		}
-		congFH := float64(fh.congBytes) / float64(hand.congBytes)
-		congAT := float64(at.congBytes) / float64(hand.congBytes)
-		timeFH := fh.timeUS / hand.timeUS
-		timeAT := at.timeUS / hand.timeUS
+	for i, blk := range blocks {
+		c := cells[i]
+		congFH := float64(c.fh.congBytes) / float64(c.hand.congBytes)
+		congAT := float64(c.at.congBytes) / float64(c.hand.congBytes)
+		timeFH := c.fh.timeUS / c.hand.timeUS
+		timeAT := c.at.timeUS / c.hand.timeUS
 		p, hasPaper := fig3Paper[blk]
 		paper := []string{"", "", "", ""}
 		if hasPaper {
@@ -120,24 +148,28 @@ func (r *Runner) Fig4() error {
 	}
 	r.header(fmt.Sprintf("Figure 4: matrix multiplication with block size %d (ratios vs hand-optimized)", block))
 
+	fh, at := fhFactory(), atFactory()
+	cells, err := runRatioCells(r, len(sides), func(row, kind int, concurrent bool) (mmPoint, error) {
+		switch kind {
+		case 0:
+			return r.runMatmul(sides[row], block, nil, decomp.Ary2, concurrent)
+		case 1:
+			return r.runMatmul(sides[row], block, fh, decomp.Ary4, concurrent)
+		default:
+			return r.runMatmul(sides[row], block, at, decomp.Ary4, concurrent)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
 	rows := [][]string{{"mesh", "congFH", "congAT4", "AT/FH", "timeFH", "timeAT4", "AT/FH", "", "paper(4096): congFH", "congAT4", "timeFH", "timeAT4"}}
-	for _, side := range sides {
-		hand, err := r.runMatmul(side, block, nil, decomp.Ary2)
-		if err != nil {
-			return err
-		}
-		fh, err := r.runMatmul(side, block, fhFactory(), decomp.Ary4)
-		if err != nil {
-			return err
-		}
-		at, err := r.runMatmul(side, block, atFactory(), decomp.Ary4)
-		if err != nil {
-			return err
-		}
-		congFH := float64(fh.congBytes) / float64(hand.congBytes)
-		congAT := float64(at.congBytes) / float64(hand.congBytes)
-		timeFH := fh.timeUS / hand.timeUS
-		timeAT := at.timeUS / hand.timeUS
+	for i, side := range sides {
+		c := cells[i]
+		congFH := float64(c.fh.congBytes) / float64(c.hand.congBytes)
+		congAT := float64(c.at.congBytes) / float64(c.hand.congBytes)
+		timeFH := c.fh.timeUS / c.hand.timeUS
+		timeAT := c.at.timeUS / c.hand.timeUS
 		p := fig4Paper[side]
 		rows = append(rows, []string{
 			fmt.Sprintf("%dx%d", side, side),

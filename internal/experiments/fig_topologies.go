@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"diva"
 	"diva/internal/apps/barneshut"
@@ -92,35 +91,14 @@ func (r *Runner) FigTopologies() error {
 	}
 	table(r.W, rows)
 
-	// Run the sweep: cells are independent, so fan them out when the
-	// runner has workers (each machine is marked Concurrent to keep the
-	// per-kernel GOMAXPROCS pin off).
-	cells := make([]topoCell, len(topos)*len(strategies))
-	errs := make([]error, len(cells))
-	workers := r.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	concurrent := r.concurrent || workers > 1
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for ti := range topos {
-		for si := range strategies {
-			wg.Add(1)
-			go func(ti, si int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				idx := ti*len(strategies) + si
-				cells[idx], errs[idx] = r.runTopoCell(topos[ti], strategies[si], n, steps, concurrent)
-			}(ti, si)
-		}
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	// Run the sweep: cells are independent, so they fan out across the
+	// runner's shared worker pool (each machine is marked Concurrent to
+	// keep the per-kernel GOMAXPROCS pin off).
+	cells, err := runCells(r, len(topos)*len(strategies), func(i int, concurrent bool) (topoCell, error) {
+		return r.runTopoCell(topos[i/len(strategies)], strategies[i%len(strategies)], n, steps, concurrent)
+	})
+	if err != nil {
+		return err
 	}
 
 	for _, metric := range []struct {

@@ -31,18 +31,82 @@ type Runner struct {
 	W     io.Writer
 	Quick bool
 	Seed  uint64
-	// Workers sets RunAll's degree of parallelism: when > 1, up to that
-	// many figures run concurrently, each on its own runner clone seeded
-	// identically to the sequential run, with the kernels' GOMAXPROCS pin
-	// disabled (it is process-wide and would serialize the workers).
-	// Output is buffered per figure and emitted in figure order, so the
-	// bytes written to W are identical to a sequential run's.
+	// Workers sets the runner's degree of parallelism: when > 1, whole
+	// figures and the cells of in-figure fan-outs (the Barnes-Hut sweep,
+	// the topologies sweep, the matmul/bitonic ratio figures) all draw
+	// from one shared pool of this many slots — a figure goroutine lends
+	// its slot to its own fan-out, so the pool bounds the number of
+	// concurrently running simulations across the whole run. Every
+	// parallel machine runs with the kernels' GOMAXPROCS pin disabled (it
+	// is process-wide and would serialize the workers). Output is buffered
+	// per figure and emitted in figure order, so the bytes written to W
+	// are identical to a sequential run's.
 	Workers int
+
+	// pool is the shared slot pool (created on first parallel use and
+	// inherited by worker clones); holding marks a clone whose figure
+	// goroutine currently occupies a slot, so runCells can lend it out.
+	pool    chan struct{}
+	holding bool
 
 	// concurrent marks a worker clone: its machines run alongside others.
 	concurrent bool
 
 	bhCache *bhCache
+}
+
+// ensurePool creates the shared slot pool. Callers invoke it before any
+// fan-out goroutines exist (runParallel setup, or a direct in-figure
+// fan-out on a sequentially-driven runner), so creation is single-threaded.
+func (r *Runner) ensurePool() {
+	if r.pool == nil {
+		r.pool = make(chan struct{}, r.Workers)
+	}
+}
+
+// runCells evaluates n independent simulation cells through compute,
+// fanning them across the runner's global worker pool when it has one, and
+// returns the results in index order — so the caller's output is
+// independent of completion order and byte-identical to a sequential run.
+// A figure goroutine that itself holds a pool slot lends it to the fan-out
+// for the duration: whole figures and cells share one pool without nested
+// acquisitions, which keeps the pool deadlock-free. Cells run on machines
+// marked concurrent (no GOMAXPROCS pin); simulated results are unaffected.
+func runCells[T any](r *Runner, n int, compute func(i int, concurrent bool) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if r.Workers <= 1 || n <= 1 {
+		for i := range out {
+			v, err := compute(i, r.concurrent)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	r.ensurePool()
+	if r.holding {
+		<-r.pool
+		defer func() { r.pool <- struct{}{} }()
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.pool <- struct{}{}
+			defer func() { <-r.pool }()
+			out[i], errs[i] = compute(i, true)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // New returns a runner writing to w.
@@ -119,20 +183,23 @@ func (r *Runner) runParallel(names []string) error {
 		buf bytes.Buffer
 		err error
 	}
+	r.ensurePool()
 	results := make([]result, len(names))
-	sem := make(chan struct{}, r.Workers)
 	var wg sync.WaitGroup
 	for i, f := range names {
 		wg.Add(1)
 		go func(i int, f string) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Workers share the parent's Barnes-Hut cache: Figures 8-10
-			// view the same deterministic sweep, so one worker computes
-			// it and the others reuse the rows.
+			r.pool <- struct{}{}
+			defer func() { <-r.pool }()
+			// Workers share the parent's slot pool (figures and their
+			// in-figure fan-outs bounded together) and the parent's
+			// Barnes-Hut cache: Figures 8-10 view the same deterministic
+			// sweep, so one worker computes it and the others reuse the
+			// rows.
 			sub := &Runner{
 				W: &results[i].buf, Quick: r.Quick, Seed: r.Seed,
+				Workers: r.Workers, pool: r.pool, holding: true,
 				concurrent: true, bhCache: r.bhCache,
 			}
 			results[i].err = sub.Run(f)

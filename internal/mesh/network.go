@@ -117,6 +117,81 @@ type Network struct {
 	// single-threaded per kernel, so reuse across messages is safe.
 	routeBuf []int
 	startBuf []sim.Time
+
+	// ilj journals Inline* charges between InlineBegin and
+	// InlineCommit/InlineAbort so a speculative replay can be reverted.
+	ilj inlineJournal
+}
+
+// inlineJournal records every mutation the Inline* helpers (and routeRaw
+// under them) perform, so InlineAbort can restore the exact prior state.
+// Old values are replayed in reverse on abort, which makes duplicate
+// entries for the same resource harmless; counter deltas are subtracted.
+type inlineJournal struct {
+	active bool
+	cpus   []cpuSave
+	busys  []busySave
+	loads  []loadSave
+	stats  []statSave
+}
+
+type cpuSave struct {
+	node int32
+	old  sim.Time
+}
+
+type busySave struct {
+	link int32
+	old  sim.Time
+}
+
+type loadSave struct {
+	link int32
+	size int32
+}
+
+type statSave struct {
+	kind uint8
+	size int32
+}
+
+// InlineBegin starts journaling Inline* charges for a speculative replay.
+func (nw *Network) InlineBegin() {
+	if nw.ilj.active {
+		panic("mesh: nested InlineBegin")
+	}
+	nw.ilj.active = true
+}
+
+// InlineCommit keeps all charges since InlineBegin and drops the journal.
+func (nw *Network) InlineCommit() {
+	j := &nw.ilj
+	j.active = false
+	j.cpus = j.cpus[:0]
+	j.busys = j.busys[:0]
+	j.loads = j.loads[:0]
+	j.stats = j.stats[:0]
+}
+
+// InlineAbort reverts every charge since InlineBegin, leaving the network
+// state exactly as before the speculative replay.
+func (nw *Network) InlineAbort() {
+	j := &nw.ilj
+	for i := len(j.cpus) - 1; i >= 0; i-- {
+		nw.cpuFree[j.cpus[i].node] = j.cpus[i].old
+	}
+	for i := len(j.busys) - 1; i >= 0; i-- {
+		nw.links[j.busys[i].link].busyUntil = j.busys[i].old
+	}
+	for _, l := range j.loads {
+		nw.links[l.link].load.Msgs--
+		nw.links[l.link].load.Bytes -= uint64(l.size)
+	}
+	for _, s := range j.stats {
+		nw.sendMsgs[s.kind]--
+		nw.sendBytes[s.kind] -= uint64(s.size)
+	}
+	nw.InlineCommit()
 }
 
 // NewNetwork creates a network over topology t using kernel k.
@@ -262,6 +337,47 @@ func (nw *Network) msgReady(x interface{}) {
 	}
 }
 
+// InlineSendAt models Send issued at simulated time `now` without
+// scheduling delivery events: identical charging — send startup on the
+// source CPU, send stats, link occupancy and congestion along the route —
+// and returns the arrival time at the destination. InlineRecvAt is the
+// matching receive side. Together they let a protocol replay a whole
+// deterministic message cascade inside one event callback (the batched
+// barrier release does this under kernel quiescence); the caller is
+// responsible for interleaving the per-message charges in global
+// (time, schedule-order) order, exactly as the kernel would have.
+func (nw *Network) InlineSendAt(now sim.Time, src, dst, size int, kind uint8) sim.Time {
+	t := now
+	if nw.cpuFree[src] > t {
+		t = nw.cpuFree[src]
+	}
+	depart := t + nw.P.StartupSendUS
+	if nw.ilj.active {
+		nw.ilj.cpus = append(nw.ilj.cpus, cpuSave{int32(src), nw.cpuFree[src]})
+		nw.ilj.stats = append(nw.ilj.stats, statSave{kind, int32(size)})
+	}
+	nw.cpuFree[src] = depart
+	nw.sendMsgs[kind]++
+	nw.sendBytes[kind] += uint64(size)
+	return nw.routeRaw(src, dst, size, depart)
+}
+
+// InlineRecvAt models the arrival stage (msgArrive) at the destination:
+// it charges the receive startup on the destination CPU at the given
+// arrival time and returns the time the message handler would have run.
+func (nw *Network) InlineRecvAt(dst int, arrive sim.Time) sim.Time {
+	t := arrive
+	if nw.cpuFree[dst] > t {
+		t = nw.cpuFree[dst]
+	}
+	ready := t + nw.P.StartupRecvUS
+	if nw.ilj.active {
+		nw.ilj.cpus = append(nw.ilj.cpus, cpuSave{int32(dst), nw.cpuFree[dst]})
+	}
+	nw.cpuFree[dst] = ready
+	return ready
+}
+
 // route models wormhole transmission of m along the topology's
 // deterministic shortest path: the head acquires each link no earlier
 // than the link is free and the tail arrives one message duration after
@@ -272,17 +388,25 @@ func (nw *Network) msgReady(x interface{}) {
 // Congestion counters are bumped for every traversed link. Returns the
 // arrival time at the destination.
 func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
-	if m.Src == m.Dst {
+	return nw.routeRaw(m.Src, m.Dst, m.Size, depart)
+}
+
+// routeRaw is route without the message object: the same charging from
+// scalar (src, dst, size), shared by the event-driven delivery path and the
+// inline replay helpers.
+func (nw *Network) routeRaw(src, dst, size int, depart sim.Time) sim.Time {
+	if src == dst {
 		return depart + nw.P.LocalDeliveryUS
 	}
-	dur := float64(m.Size) / nw.P.BytesPerUS
+	dur := float64(size) / nw.P.BytesPerUS
 	t := depart
 	// Walk the path without allocating (routing runs for every message):
 	// the network's persistent buffers hold any route of the topology —
 	// their capacity is derived from the diameter at construction, so
 	// the old "rows+cols > 128" stack-buffer fallback is gone entirely.
-	path := nw.T.AppendRoute(nw.routeBuf[:0], m.Src, m.Dst)
+	path := nw.T.AppendRoute(nw.routeBuf[:0], src, dst)
 	starts := nw.startBuf[:0]
+	journal := nw.ilj.active
 	for _, li := range path {
 		l := &nw.links[li]
 		s := t
@@ -290,11 +414,15 @@ func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 			s = l.busyUntil
 		}
 		starts = append(starts, s)
+		if journal {
+			nw.ilj.busys = append(nw.ilj.busys, busySave{int32(li), l.busyUntil})
+			nw.ilj.loads = append(nw.ilj.loads, loadSave{int32(li), int32(size)})
+		}
 		if nw.P.NoBackpressure {
 			l.busyUntil = s + dur
 		}
 		l.load.Msgs++
-		l.load.Bytes += uint64(m.Size)
+		l.load.Bytes += uint64(size)
 		t = s + nw.P.HopLatencyUS
 	}
 	arrive := t + dur
@@ -313,6 +441,9 @@ func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 				release = own
 			}
 			if release > l.busyUntil {
+				if journal {
+					nw.ilj.busys = append(nw.ilj.busys, busySave{int32(li), l.busyUntil})
+				}
 				l.busyUntil = release
 			}
 		}

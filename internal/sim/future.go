@@ -28,17 +28,27 @@ func (f *Future) Value() interface{} { return f.val }
 // the current simulation time). Completing twice panics: it always
 // indicates a protocol bug.
 func (f *Future) Complete(k *Kernel, val interface{}) {
+	f.CompleteAt(k, k.now, val)
+}
+
+// CompleteAt resolves the future now but schedules its waiters to wake at
+// the future time t (>= now): the batched barrier release computes leaf
+// wake-up times ahead of the simulated clock. The value is visible
+// immediately, so a process calling Await between now and t returns without
+// waiting — callers must ensure no new waiters arrive in that window (the
+// barrier guarantees it: the woken process owns the future exclusively).
+func (f *Future) CompleteAt(k *Kernel, t Time, val interface{}) {
 	if f.done {
 		panic("sim: future completed twice")
 	}
 	f.done = true
 	f.val = val
 	if f.w0 != nil {
-		k.atProc(k.now, f.w0)
+		k.atProc(t, f.w0)
 		f.w0 = nil
 	}
 	for _, p := range f.waiters {
-		k.atProc(k.now, p)
+		k.atProc(t, p)
 	}
 	f.waiters = nil
 }

@@ -1,32 +1,3 @@
-// Package sim implements a deterministic, sequential discrete-event
-// simulation kernel with cooperative processes.
-//
-// The kernel advances virtual time by executing events from a priority
-// queue. Exactly one thing runs at a time: either an event callback or one
-// process goroutine. Processes hand control back to the kernel whenever they
-// block (Wait, Await, ...), so all executions are serialized and the whole
-// simulation is reproducible — same inputs, same event order, same results.
-//
-// Two execution contexts exist:
-//
-//   - Event context: callbacks scheduled with At/After/AtCall run inline in
-//     the kernel loop. They must not block. Protocol handlers (message
-//     deliveries) run in this context.
-//   - Process context: goroutines spawned with Spawn. They may block on
-//     futures and timed waits. Application programs (one per simulated
-//     processor) run in this context.
-//
-// Time is measured in microseconds (float64); ties are broken by schedule
-// order, which makes runs deterministic.
-//
-// The event queue is the hottest data structure of the whole simulator, so
-// it avoids container/heap: events live unboxed in a plain []event backing
-// array organized as a 4-ary min-heap with inlined sift-up/sift-down (a
-// 4-ary heap halves the tree depth vs. a binary heap and keeps the four
-// children of a node on one cache line pair). An event is a small tagged
-// union — a process wakeup, a typed callback with one pointer argument, or
-// a func() closure as the fallback — so the hot paths (proc wakeups,
-// message deliveries) schedule with zero allocations.
 package sim
 
 import (
@@ -39,17 +10,26 @@ import (
 // Time is simulated time in microseconds.
 type Time = float64
 
-// event is one scheduled occurrence. Exactly one of the payload fields is
-// set: proc (resume a parked process), hfn (typed callback applied to arg),
-// or fn (closure fallback). Keeping the variants unboxed in one struct is
-// what makes the queue allocation-free.
+// event is one scheduled occurrence: a process wakeup (proc != nil) or a
+// callback whose payload lives in the kernel's slot table (slot). Process
+// wakeups — the most frequent event by far — carry their payload inline;
+// callbacks pay one indirection. Keeping the queue entry at 32 bytes
+// (vs. 56 with the callback variants unboxed inline) nearly halves the
+// memory traffic of the sift operations, which dominate pop.
 type event struct {
 	t    Time
 	seq  uint64
 	proc *Proc
-	hfn  func(interface{})
-	arg  interface{}
-	fn   func()
+	slot int32
+}
+
+// payload holds a callback event's fields: a typed callback applied to arg,
+// or a func() closure as the fallback. Slots are recycled through a free
+// stack, so scheduling stays allocation-free in steady state.
+type payload struct {
+	hfn func(interface{})
+	arg interface{}
+	fn  func()
 }
 
 // before is the queue's strict ordering: time, then schedule order.
@@ -63,23 +43,44 @@ func (e *event) before(o *event) bool {
 // Kernel is the simulation engine. The zero value is not usable; construct
 // with New.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	pq      []event // 4-ary min-heap ordered by (t, seq)
-	procs   []*Proc
-	parked  chan struct{} // signaled by a proc when it hands control back
+	now   Time
+	seq   uint64
+	pq    []event // 4-ary min-heap ordered by (t, seq)
+	procs []*Proc
+	// mainCh hands the baton back to the goroutine that called Run: at
+	// termination (queue drained or Stop), or when the goroutine driving
+	// the loop was itself killed by an event it executed and must unwind.
+	// The Run goroutine resumes driving either way; its loop condition
+	// detects termination. Buffered so the send never blocks the sender.
+	mainCh  chan struct{}
 	stopped bool
 	noPin   bool
 	fp      uint64 // running hash of the executed event order
+
+	pay     []payload // callback payload slots referenced by event.slot
+	payFree []int32   // recycled payload slots
+
+	// nowq is a FIFO bypass for events scheduled at the current time —
+	// future completions, yields, spawn kick-offs. Such an event is always
+	// younger (higher seq) than every queued event of the same timestamp,
+	// so FIFO order is (t, seq) order and the heap's O(log n) sift is
+	// avoided entirely for the same-timestamp churn of the protocol layer.
+	nowq     []event
+	nowqHead int
 }
 
 // New returns an empty kernel at time 0.
 func New() *Kernel {
-	return &Kernel{parked: make(chan struct{})}
+	return &Kernel{mainCh: make(chan struct{}, 1)}
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of scheduled events that have not executed
+// yet. Event callbacks can use it as a quiescence check: Pending() == 0
+// means nothing else is in flight besides the running callback.
+func (k *Kernel) Pending() int { return len(k.pq) + len(k.nowq) - k.nowqHead }
 
 // SetPinned controls whether Run pins GOMAXPROCS to 1 (the default).
 // Disable the pin when several independent kernels run concurrently —
@@ -153,12 +154,55 @@ func (k *Kernel) pop() event {
 	return top
 }
 
+// sched enqueues e: same-timestamp events take the FIFO bypass, future
+// events the heap. Both orders compose to the global (t, seq) order — see
+// the nowq field comment.
+func (k *Kernel) sched(e event) {
+	if e.t == k.now {
+		k.nowq = append(k.nowq, e)
+		return
+	}
+	k.push(e)
+}
+
+// popNext removes and returns the globally next event: heap events of the
+// current timestamp first (they are older than anything in the bypass),
+// then the bypass FIFO, then the heap advances time.
+func (k *Kernel) popNext() event {
+	if len(k.pq) > 0 && k.pq[0].t == k.now {
+		return k.pop()
+	}
+	if k.nowqHead < len(k.nowq) {
+		e := k.nowq[k.nowqHead]
+		k.nowq[k.nowqHead] = event{}
+		k.nowqHead++
+		if k.nowqHead == len(k.nowq) {
+			k.nowq = k.nowq[:0]
+			k.nowqHead = 0
+		}
+		return e
+	}
+	return k.pop()
+}
+
+// slot stores a callback payload and returns its table index.
+func (k *Kernel) slot(p payload) int32 {
+	if n := len(k.payFree); n > 0 {
+		s := k.payFree[n-1]
+		k.payFree = k.payFree[:n-1]
+		k.pay[s] = p
+		return s
+	}
+	k.pay = append(k.pay, p)
+	return int32(len(k.pay) - 1)
+}
+
 // At schedules fn to run in event context at absolute time t. Scheduling in
 // the past panics: it would make time run backwards.
 func (k *Kernel) At(t Time, fn func()) {
 	k.checkPast(t)
 	k.seq++
-	k.push(event{t: t, seq: k.seq, fn: fn})
+	k.sched(event{t: t, seq: k.seq, slot: k.slot(payload{fn: fn})})
 }
 
 // AtCall schedules fn(arg) to run in event context at absolute time t.
@@ -167,14 +211,14 @@ func (k *Kernel) At(t Time, fn func()) {
 func (k *Kernel) AtCall(t Time, fn func(interface{}), arg interface{}) {
 	k.checkPast(t)
 	k.seq++
-	k.push(event{t: t, seq: k.seq, hfn: fn, arg: arg})
+	k.sched(event{t: t, seq: k.seq, slot: k.slot(payload{hfn: fn, arg: arg})})
 }
 
 // atProc schedules p to resume at absolute time t, with no allocation.
 func (k *Kernel) atProc(t Time, p *Proc) {
 	k.checkPast(t)
 	k.seq++
-	k.push(event{t: t, seq: k.seq, proc: p})
+	k.sched(event{t: t, seq: k.seq, proc: p})
 }
 
 // After schedules fn to run in event context after delay d (d >= 0).
@@ -189,29 +233,18 @@ func (k *Kernel) After(d Time, fn func()) {
 // returns an error if, at the end, some processes are still blocked — that
 // indicates a deadlock (or a forgotten wake-up) in the simulated system.
 //
-// The simulation is strictly sequential: exactly one goroutine (the kernel
-// or one process) runs at any time. Running on a single P makes the
-// kernel/process handoffs cheap scheduler switches instead of cross-core
-// futex wake-ups (~2x end-to-end), so Run pins GOMAXPROCS to 1 for its
-// duration and restores it afterwards — unless SetPinned(false) opted out
-// because several kernels run concurrently.
+// The simulation is strictly sequential: exactly one goroutine (the caller
+// or one process) runs at any time; see doc.go for the baton-passing
+// handoff that enforces it with one rendezvous per context switch. Running
+// on a single P makes those handoffs cheap scheduler switches instead of
+// cross-core futex wake-ups (~2x end-to-end), so Run pins GOMAXPROCS to 1
+// for its duration and restores it afterwards — unless SetPinned(false)
+// opted out because several kernels run concurrently.
 func (k *Kernel) Run() error {
 	if !k.noPin {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	}
-	for len(k.pq) > 0 && !k.stopped {
-		e := k.pop()
-		k.now = e.t
-		k.fp = k.fp*0x9e3779b97f4a7c15 + (math.Float64bits(e.t) ^ e.seq)
-		switch {
-		case e.proc != nil:
-			k.runProc(e.proc)
-		case e.hfn != nil:
-			e.hfn(e.arg)
-		default:
-			e.fn()
-		}
-	}
+	k.loop(nil, false)
 	var blocked []string
 	for _, p := range k.procs {
 		if !p.done {
@@ -224,6 +257,88 @@ func (k *Kernel) Run() error {
 		return &DeadlockError{Blocked: blocked, At: k.now}
 	}
 	return nil
+}
+
+// loop executes events on the calling goroutine — the current baton holder
+// (see doc.go). self is nil for the Run goroutine; continuation marks a
+// process goroutine whose body already returned and that is driving the
+// loop only until it can hand the baton off. The loop ends when:
+//
+//   - it pops the wakeup of self: return, so park (and thus Wait/Await)
+//     returns into the process body with zero channel operations;
+//   - it pops the wakeup of another process: hand the baton over with one
+//     buffered send; the Run goroutine then sleeps until the baton comes
+//     back (termination, or a killed holder handing over) and resumes
+//     driving, a continuation exits, and a parked process blocks on its
+//     own rendezvous until its wakeup is popped elsewhere — or a kill
+//     unwinds it;
+//   - an event callback it just executed killed self (kill targets the
+//     process whose goroutine is driving): hand the baton to the Run
+//     goroutine and unwind — the body must never resume;
+//   - the queue drains or Stop was called: the Run goroutine returns to
+//     Run; anyone else signals the Run goroutine, then exits
+//     (continuation) or blocks for the inevitable kill (a drained queue
+//     with a parked process is a deadlock).
+func (k *Kernel) loop(self *Proc, continuation bool) {
+	for k.Pending() > 0 && !k.stopped {
+		e := k.popNext()
+		k.now = e.t
+		k.fp = k.fp*0x9e3779b97f4a7c15 + (math.Float64bits(e.t) ^ e.seq)
+		if p := e.proc; p != nil {
+			if p.done {
+				continue // killed while runnable; the pop is already folded
+			}
+			if p == self {
+				return
+			}
+			p.resume <- procSignal{}
+			if self == nil {
+				// The baton returns on termination or from a killed
+				// holder; either way, resume driving (the loop condition
+				// detects termination).
+				<-k.mainCh
+				continue
+			}
+			if continuation {
+				return // finished body: the goroutine exits
+			}
+			sig := <-self.resume
+			if sig.kill {
+				panic(killed{})
+			}
+			return // our wakeup was popped by another holder; park returns
+		}
+		pl := &k.pay[e.slot]
+		hfn, arg, fn := pl.hfn, pl.arg, pl.fn
+		*pl = payload{} // release references before the callback runs
+		k.payFree = append(k.payFree, e.slot)
+		if hfn != nil {
+			hfn(arg)
+		} else {
+			fn()
+		}
+		if self != nil && !continuation && self.done {
+			// The callback we just ran killed us. The body must not resume:
+			// hand the baton to the Run goroutine and unwind. (done is only
+			// ever written in kernel context, which we are, so this read is
+			// race-free.)
+			k.mainCh <- struct{}{}
+			panic(killed{})
+		}
+	}
+	if self == nil {
+		return
+	}
+	k.mainCh <- struct{}{}
+	if continuation {
+		return
+	}
+	// Parked with no wakeup scheduled and nothing left to run: that is a
+	// deadlock; Run (now holding the baton) will kill us.
+	sig := <-self.resume
+	if sig.kill {
+		panic(killed{})
+	}
 }
 
 // Stop makes Run return after the current event completes. Remaining
@@ -250,10 +365,4 @@ type DeadlockError struct {
 
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at t=%v, blocked processes: %v", e.At, e.Blocked)
-}
-
-// runProc transfers control to p and waits until p parks again.
-func (k *Kernel) runProc(p *Proc) {
-	p.resume <- procSignal{}
-	<-k.parked
 }

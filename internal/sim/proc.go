@@ -16,8 +16,13 @@ type killed struct{}
 // callback) executes at a time, so process code needs no locking against
 // other simulated activity.
 type Proc struct {
-	k      *Kernel
-	name   string
+	k    *Kernel
+	name string
+	// resume is the process's rendezvous: a context switch to this process
+	// is one buffered send here by the previous baton holder (see doc.go).
+	// Capacity 1 so the sender never sleeps on the handoff — at most one
+	// signal is ever in flight, because kernel code only runs again after
+	// the receiver consumed it.
 	resume chan procSignal
 	done   bool
 }
@@ -34,7 +39,7 @@ func (p *Proc) Now() Time { return p.k.now }
 // Spawn creates a process executing body. The process starts (in FIFO order
 // with other events) at the current simulation time.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan procSignal)}
+	p := &Proc{k: k, name: name, resume: make(chan procSignal, 1)}
 	k.procs = append(k.procs, p)
 	go func() {
 		defer func() {
@@ -51,32 +56,36 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		}
 		body(p)
 		p.done = true
-		k.parked <- struct{}{} // final hand-back
+		// Final hand-back: the goroutine keeps driving the kernel loop as a
+		// continuation. It exits at the next handoff (one rendezvous, the
+		// send) — or with none at all when the queue drains first. In
+		// particular a body that never parks costs at most one rendezvous
+		// total after the initial wakeup.
+		k.loop(p, true)
 	}()
 	k.atProc(k.now, p)
 	return p
 }
 
-// park hands control back to the kernel and blocks until resumed.
-// Must only be called from process context.
+// park hands control back to the kernel and blocks until resumed: the
+// process itself keeps driving the kernel loop until it pops either its own
+// wakeup (park returns directly, no channel operation) or another process's
+// (one rendezvous). Must only be called from process context.
 func (p *Proc) park() {
-	p.k.parked <- struct{}{}
-	sig := <-p.resume
-	if sig.kill {
-		panic(killed{})
-	}
+	p.k.loop(p, false)
 }
 
-// kill unblocks a parked process with the kill flag so it unwinds.
-// Must be called from kernel context while the process is parked: the
-// process goroutine is blocked on (or headed for) <-p.resume, so the send
-// rendezvous directly — no helper goroutine needed.
+// kill unblocks a process so it unwinds instead of resuming. Must be called
+// from kernel context (an event callback, or after Run returned): the
+// target is then blocked on — or headed for — <-p.resume with an empty
+// buffer, so the buffered send cannot be reordered with a pending resume.
+// Marking done first makes any still-queued wakeup event a no-op.
 func (p *Proc) kill() {
 	if p.done {
 		return
 	}
-	p.resume <- procSignal{kill: true}
 	p.done = true
+	p.resume <- procSignal{kill: true}
 }
 
 // Wait suspends the process for d microseconds of simulated time.

@@ -136,6 +136,176 @@ func TestDeterministicUnderRandomLoad(t *testing.T) {
 	}
 }
 
+// --- kill-during-handoff stress ---
+//
+// The single-rendezvous handoff must preserve the synchronous-kill
+// guarantees of the old two-channel scheduler: once kill() returns, the
+// target never executes user code again, regardless of whether it was
+// parked with no wakeup, runnable with a wakeup queued, or not yet first
+// scheduled (mid-Spawn). These tests run under -race in CI.
+
+// TestKillParkedProc: killing a process blocked on a future unwinds it
+// without resuming the body.
+func TestKillParkedProc(t *testing.T) {
+	k := New()
+	fut := NewFuture()
+	resumed := false
+	p := k.Spawn("parked", func(p *Proc) {
+		fut.Await(p)
+		resumed = true
+	})
+	k.At(5, func() { p.kill() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("killed proc reported as deadlock: %v", err)
+	}
+	if resumed {
+		t.Fatal("killed process executed past its park point")
+	}
+}
+
+// TestKillRunnableProc: killing a process whose wakeup event is already
+// queued must not resume it when that event pops.
+func TestKillRunnableProc(t *testing.T) {
+	k := New()
+	resumed := false
+	p := k.Spawn("runnable", func(p *Proc) {
+		p.Wait(10) // wakeup queued for t=10
+		resumed = true
+	})
+	k.At(5, func() { p.kill() }) // kill while the wakeup is pending
+	later := false
+	k.At(20, func() { later = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("killed process resumed from its queued wakeup")
+	}
+	if !later {
+		t.Fatal("kernel stopped executing after skipping the dead wakeup")
+	}
+}
+
+// TestKillMidSpawn: a process killed before its first scheduling must never
+// start its body, and its pending kick-off event must be skipped.
+func TestKillMidSpawn(t *testing.T) {
+	k := New()
+	started := false
+	k.At(1, func() {
+		p := k.Spawn("doomed", func(p *Proc) { started = true })
+		p.kill() // before the spawn kick-off event ran
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started {
+		t.Fatal("mid-spawn-killed process started its body")
+	}
+}
+
+// TestKillStressMixed is the randomized kill-during-handoff stress: a churn
+// of waiting, yielding and future-chained processes with kills injected
+// from event context at random times against parked, runnable and
+// freshly-spawned targets. Two runs of every seed must execute the same
+// event sequence (fingerprint), nobody may run after being killed, and
+// survivors must complete. Run under -race in CI to pin the rendezvous
+// memory ordering.
+func TestKillStressMixed(t *testing.T) {
+	trial := func(seed uint64) (uint64, int) {
+		k := New()
+		rng := xrand.New(seed)
+		const n = 24
+		alive := make([]bool, n)
+		killed := make([]bool, n)
+		procs := make([]*Proc, n)
+		fut := NewFuture()
+		for i := 0; i < n; i++ {
+			i := i
+			switch i % 3 {
+			case 0: // timed waiter: mostly runnable or parked with a wakeup
+				d := Time(1 + rng.Intn(40))
+				procs[i] = k.Spawn("waiter", func(p *Proc) {
+					for j := 0; j < 20; j++ {
+						if killed[i] {
+							panic("killed waiter still running")
+						}
+						p.Wait(d)
+					}
+					alive[i] = true
+				})
+			case 1: // parked on a shared future
+				procs[i] = k.Spawn("await", func(p *Proc) {
+					fut.Await(p)
+					if killed[i] {
+						panic("killed awaiter resumed")
+					}
+					alive[i] = true
+				})
+			case 2: // yield churn: frequently in the now-queue
+				procs[i] = k.Spawn("yield", func(p *Proc) {
+					for j := 0; j < 50; j++ {
+						if killed[i] {
+							panic("killed yielder still running")
+						}
+						p.Yield()
+					}
+					alive[i] = true
+				})
+			}
+		}
+		// Kill a third of the processes from event context, at random times
+		// relative to their wakeups; spawn-and-kill a few more on the spot.
+		kills := 0
+		for i := 0; i < n; i += 3 {
+			i := i
+			k.At(Time(rng.Intn(60)), func() {
+				if procs[i].done {
+					return // already finished; nothing to kill
+				}
+				killed[i] = true
+				procs[i].kill()
+				kills++
+			})
+		}
+		for j := 0; j < 4; j++ {
+			k.At(Time(rng.Intn(60)), func() {
+				p := k.Spawn("instakill", func(p *Proc) {
+					panic("instakilled process ran")
+				})
+				p.kill()
+			})
+		}
+		k.At(70, func() { fut.Complete(k, nil) })
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		survivors := 0
+		for i := range alive {
+			if alive[i] {
+				survivors++
+			}
+			if alive[i] && killed[i] {
+				t.Fatalf("seed %d: process %d completed after being killed", seed, i)
+			}
+		}
+		if kills == 0 {
+			t.Fatalf("seed %d: no kills executed", seed)
+		}
+		return k.Fingerprint(), survivors
+	}
+	for seed := uint64(0); seed < 12; seed++ {
+		fp1, s1 := trial(seed)
+		fp2, s2 := trial(seed)
+		if fp1 != fp2 || s1 != s2 {
+			t.Fatalf("seed %d: nondeterministic under kills: fp %x/%x, survivors %d/%d",
+				seed, fp1, fp2, s1, s2)
+		}
+		if s1 == 0 {
+			t.Fatalf("seed %d: no survivors — kill stress killed everyone?", seed)
+		}
+	}
+}
+
 // TestDeadlockReportsAllBlocked: every stuck process appears in the error.
 func TestDeadlockReportsAllBlocked(t *testing.T) {
 	k := New()
