@@ -27,11 +27,13 @@ check-imports:
 	fi
 	@echo "check-imports: examples/ and cmd/ are clean"
 
-# bench runs every figure benchmark once and records ns/op plus all
-# reported simulated-result metrics as BENCH_<date>.json, keeping the perf
+# bench runs every figure benchmark (plus the kernel-queue and message-hop
+# micro-benchmarks) once and records ns/op, allocs/op and all reported
+# simulated-result metrics as BENCH_<date>.json, keeping the perf
 # trajectory machine-readable across PRs (see PERF.md).
+BENCH_PATTERN = 'BenchmarkFig|BenchmarkKernelQueue|BenchmarkMessageHop'
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkFig -benchmem -benchtime 1x . \
+	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
@@ -47,15 +49,20 @@ bench:
 # MAX_REGRESS is overridable because absolute ns/op is machine-relative —
 # CI compares cross-machine and passes a loose bound, the simulated-metric
 # check stays zero-tolerance everywhere.
+# MAX_ALLOC_REGRESS gates allocs/op with a tight default: allocation
+# counts are near-deterministic and machine-independent, so unlike ns/op
+# the bound does not need to be loosened for cross-machine CI runs.
 BASELINE = $(lastword $(sort $(shell git ls-files 'BENCH_*.json')))
 MAX_REGRESS ?= 50
+MAX_ALLOC_REGRESS ?= 10
 bench-check:
-	$(GO) test -run '^$$' -bench BenchmarkFig -benchmem -benchtime 1x . \
+	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson > .bench-new.json
-	$(GO) test -run '^$$' -list 'BenchmarkFig.*' . | grep '^Benchmark' > .benchlist.txt
+	$(GO) test -run '^$$' -list $(BENCH_PATTERN) . | grep '^Benchmark' > .benchlist.txt
 	$(GO) run ./cmd/benchjson -check .bench-new.json -expect .benchlist.txt
 	@if [ -n "$(BASELINE)" ]; then \
-		$(GO) run ./cmd/benchjson -diff -max-regress $(MAX_REGRESS) "$(BASELINE)" .bench-new.json; \
+		$(GO) run ./cmd/benchjson -diff -max-regress $(MAX_REGRESS) \
+			-max-alloc-regress $(MAX_ALLOC_REGRESS) "$(BASELINE)" .bench-new.json; \
 	else \
 		echo "bench-check: no committed BENCH_*.json baseline, skipping diff"; \
 	fi

@@ -9,7 +9,7 @@
 //
 //	go test -run '^$' -bench BenchmarkFig -benchmem . | benchjson > BENCH_2026-07-26.json
 //	benchjson -check BENCH_2026-07-26.json -expect benchlist.txt
-//	benchjson -diff BENCH_old.json BENCH_new.json [-max-regress 50]
+//	benchjson -diff BENCH_old.json BENCH_new.json [-max-regress 50] [-max-alloc-regress 10]
 //
 // Check mode guards the pipeline against silent drift: it verifies the
 // emitted file parses, that every benchmark named in -expect (one name per
@@ -19,10 +19,13 @@
 // Diff mode compares two emitted documents benchmark by benchmark and
 // fails when new is worse than old: an ns/op regression beyond
 // -max-regress percent (generous by default — CI runs single iterations
-// on shared machines, so wall-clock wobbles), a benchmark that
-// disappeared, or — with zero tolerance — ANY drift in a reported
-// simulated metric (congestion, simulated time): those are deterministic,
-// so any change means the simulation semantics changed, not the machine.
+// on shared machines, so wall-clock wobbles), an allocs/op regression
+// beyond -max-alloc-regress percent plus a small absolute slack
+// (allocation counts are near-deterministic, so the bound is tight and
+// machine-independent), a benchmark that disappeared, or — with zero
+// tolerance — ANY drift in a reported simulated metric (congestion,
+// simulated time): those are deterministic, so any change means the
+// simulation semantics changed, not the machine.
 package main
 
 import (
@@ -50,13 +53,14 @@ func main() {
 	expect := flag.String("expect", "", "check mode: file listing required benchmark names, one per line")
 	diff := flag.Bool("diff", false, "compare two BENCH json files: benchjson -diff old.json new.json")
 	maxRegress := flag.Float64("max-regress", 50, "diff mode: max tolerated ns/op regression in percent")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 10, "diff mode: max tolerated allocs/op regression in percent (plus a fixed slack of 16 allocs)")
 	flag.Parse()
 	if *diff {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *maxRegress, *maxAllocRegress); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -146,11 +150,13 @@ func loadResults(path string) (map[string]result, error) {
 }
 
 // runDiff compares new against old: it fails on a missing benchmark, an
-// ns/op regression beyond maxRegress percent, or any simulated-metric
-// drift (zero tolerance: the metrics are deterministic). New benchmarks
-// and new metrics are reported but allowed — the suite is expected to
-// grow.
-func runDiff(oldPath, newPath string, maxRegress float64) error {
+// ns/op regression beyond maxRegress percent, an allocs/op regression
+// beyond maxAllocRegress percent (+16 allocs absolute slack, so tiny
+// benchmarks with near-zero allocation counts don't trip on noise), or
+// any simulated-metric drift (zero tolerance: the metrics are
+// deterministic). New benchmarks and new metrics are reported but
+// allowed — the suite is expected to grow.
+func runDiff(oldPath, newPath string, maxRegress, maxAllocRegress float64) error {
 	old, err := loadResults(oldPath)
 	if err != nil {
 		return err
@@ -183,6 +189,11 @@ func runDiff(oldPath, newPath string, maxRegress float64) error {
 			problems = append(problems, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
 				name, 100*(n.NsPerOp/o.NsPerOp-1), o.NsPerOp, n.NsPerOp, maxRegress))
 		}
+		const allocSlack = 16
+		if n.AllocsPerOp > o.AllocsPerOp*(1+maxAllocRegress/100)+allocSlack {
+			problems = append(problems, fmt.Sprintf("%s: allocs/op regressed %.0f -> %.0f (tolerance %.0f%% + %d)",
+				name, o.AllocsPerOp, n.AllocsPerOp, maxAllocRegress, allocSlack))
+		}
 		metrics := make([]string, 0, len(o.Metrics))
 		for unit := range o.Metrics {
 			metrics = append(metrics, unit)
@@ -207,8 +218,8 @@ func runDiff(oldPath, newPath string, maxRegress float64) error {
 		}
 		return fmt.Errorf("%d problem(s) comparing %s -> %s", len(problems), oldPath, newPath)
 	}
-	fmt.Printf("benchjson: %s -> %s ok (%d benchmarks compared, %d added, ns/op within %.0f%%, simulated metrics identical)\n",
-		oldPath, newPath, compared, added, maxRegress)
+	fmt.Printf("benchjson: %s -> %s ok (%d benchmarks compared, %d added, ns/op within %.0f%%, allocs/op within %.0f%%, simulated metrics identical)\n",
+		oldPath, newPath, compared, added, maxRegress, maxAllocRegress)
 	return nil
 }
 

@@ -1,0 +1,136 @@
+// A/B tests for the PR 5 kernel frontier: the ladder event queue vs the
+// retained 4-ary heap oracle, and the fused single-event delivery vs the
+// classic two-stage pipeline — on full DSM workloads. All four
+// combinations must produce bit-identical simulated results AND the
+// bit-identical executed event order (kernel fingerprint): the ladder pops
+// in the heap's exact (t, seq) order, and the fused arrive stage runs at
+// the exact queue position of the arrive event it replaces.
+package diva_test
+
+import (
+	"testing"
+
+	"diva/internal/apps/barneshut"
+	"diva/internal/apps/matmul"
+	"diva/internal/core"
+	"diva/internal/core/accesstree"
+	"diva/internal/core/fixedhome"
+	"diva/internal/decomp"
+	"diva/internal/metrics"
+	"diva/internal/sim"
+)
+
+// abRun is one (queue, delivery pipeline) combination's trajectory.
+type abRun struct {
+	fingerprint uint64
+	elapsedUS   float64
+	congMax     uint64
+	congTotal   uint64
+	sendMsgs    uint64
+	stat        sim.Stats
+}
+
+func runMatmulAB(t *testing.T, f core.Factory, useHeap, twoStage bool) abRun {
+	t.Helper()
+	m := core.MustNewMachine(core.Config{
+		Rows: 8, Cols: 8, Seed: 1999, Tree: decomp.Ary4, Strategy: f,
+	})
+	m.K.SetHeapQueue(useHeap)
+	m.Net.SetTwoStageDelivery(twoStage)
+	res, err := matmul.RunDSM(m, matmul.Config{BlockInts: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Net.Congestion(nil)
+	msgs, _ := m.Net.SendStats()
+	var sm uint64
+	for _, n := range msgs {
+		sm += n
+	}
+	return abRun{
+		fingerprint: m.K.Fingerprint(),
+		elapsedUS:   res.ElapsedUS,
+		congMax:     c.MaxMsgs,
+		congTotal:   c.TotalMsgs,
+		sendMsgs:    sm,
+		stat:        m.K.Stat,
+	}
+}
+
+func runBarnesHutAB(t *testing.T, useHeap, twoStage bool) abRun {
+	t.Helper()
+	m := core.MustNewMachine(core.Config{
+		Rows: 4, Cols: 4, Seed: 1999, Tree: decomp.Ary4,
+		Strategy: accesstree.Factory(),
+	})
+	m.K.SetHeapQueue(useHeap)
+	m.Net.SetTwoStageDelivery(twoStage)
+	col := metrics.New(m.Net)
+	_, err := barneshut.Run(m, barneshut.Config{
+		N: 200, Steps: 2, MeasureFrom: 1, Seed: 3, WithCompute: true,
+	}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := col.Total()
+	return abRun{
+		fingerprint: m.K.Fingerprint(),
+		elapsedUS:   tot.TimeUS,
+		congMax:     tot.Cong.MaxMsgs,
+		congTotal:   tot.Cong.TotalMsgs,
+		stat:        m.K.Stat,
+	}
+}
+
+// checkAB runs all four (queue, pipeline) combinations and demands full
+// equality — including the executed-event-order fingerprint.
+func checkAB(t *testing.T, run func(t *testing.T, useHeap, twoStage bool) abRun) {
+	t.Helper()
+	base := run(t, false, false) // ladder + fused: the default build
+	if base.fingerprint == 0 {
+		t.Fatal("no fingerprint collected")
+	}
+	if base.stat.FusedDeliveries == 0 || base.stat.TwoStageDeliveries != 0 {
+		t.Errorf("default build delivery stats %+v: want every hop fused", base.stat)
+	}
+	for _, tc := range []struct {
+		name              string
+		useHeap, twoStage bool
+	}{
+		{"heap+fused", true, false},
+		{"ladder+two-stage", false, true},
+		{"heap+two-stage", true, true},
+	} {
+		got := run(t, tc.useHeap, tc.twoStage)
+		if got.fingerprint != base.fingerprint {
+			t.Errorf("%s: event-order fingerprint %#x != default %#x", tc.name, got.fingerprint, base.fingerprint)
+		}
+		if got.elapsedUS != base.elapsedUS || got.congMax != base.congMax ||
+			got.congTotal != base.congTotal || got.sendMsgs != base.sendMsgs {
+			t.Errorf("%s: observables diverged: %+v vs %+v", tc.name, got, base)
+		}
+		if tc.twoStage && got.stat.FusedDeliveries != 0 {
+			t.Errorf("%s: fused hops counted in two-stage mode: %+v", tc.name, got.stat)
+		}
+		if got.stat.FusedDeliveries+got.stat.TwoStageDeliveries !=
+			base.stat.FusedDeliveries+base.stat.TwoStageDeliveries {
+			t.Errorf("%s: total hop count differs: %+v vs %+v", tc.name, got.stat, base.stat)
+		}
+	}
+}
+
+func TestQueueAndDeliveryABMatmulAT(t *testing.T) {
+	checkAB(t, func(t *testing.T, useHeap, twoStage bool) abRun {
+		return runMatmulAB(t, accesstree.Factory(), useHeap, twoStage)
+	})
+}
+
+func TestQueueAndDeliveryABMatmulFH(t *testing.T) {
+	checkAB(t, func(t *testing.T, useHeap, twoStage bool) abRun {
+		return runMatmulAB(t, fixedhome.Factory(), useHeap, twoStage)
+	})
+}
+
+func TestQueueAndDeliveryABBarnesHut(t *testing.T) {
+	checkAB(t, runBarnesHutAB)
+}

@@ -188,7 +188,10 @@ func Run(m *core.Machine, cfg Config, col *metrics.Collector) (Result, error) {
 		lo, hi := w*cfg.N/P, (w+1)*cfg.N/P
 		owner := m.Tree.ProcOfLeaf[w]
 		for i := lo; i < hi; i++ {
-			bodyVars[i] = m.AllocAt(owner, BodyBytes, bodies[i])
+			// Bodies live in the DSM as immutable *Body values; copy out
+			// of the model slice so nothing aliases it.
+			b := bodies[i]
+			bodyVars[i] = m.AllocAt(owner, BodyBytes, &b)
 		}
 	}
 	rootVar := m.AllocAt(0, 16, rootInfo{})
@@ -239,7 +242,7 @@ func Run(m *core.Machine, cfg Config, col *metrics.Collector) (Result, error) {
 			open()
 			var root core.VarID
 			if p.ID == 0 {
-				root = p.Alloc(CellBytes, Cell{Center: space.Center, Half: space.Half})
+				root = p.Alloc(CellBytes, &Cell{Center: space.Center, Half: space.Half})
 				st.addCell(root, 0)
 				p.Write(rootVar, rootInfo{Root: root})
 			}

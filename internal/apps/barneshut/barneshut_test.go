@@ -134,14 +134,14 @@ func TestTreeStructure(t *testing.T) {
 				continue
 			}
 			if ch.IsBody() {
-				b := m.Var(ch.VarID()).Data.(Body)
+				b := *m.Var(ch.VarID()).Data.(*Body)
 				d := b.Pos.Sub(c.Center)
 				if math.Abs(d.X) > c.Half*1.0001 || math.Abs(d.Y) > c.Half*1.0001 || math.Abs(d.Z) > c.Half*1.0001 {
 					t.Fatalf("body outside its cell: |d|=%v half=%v", d, c.Half)
 				}
 				continue
 			}
-			sub := m.Var(ch.VarID()).Data.(Cell)
+			sub := *m.Var(ch.VarID()).Data.(*Cell)
 			if math.Abs(sub.Half-c.Half/2) > 1e-12 {
 				t.Fatalf("child half %v, parent half %v", sub.Half, c.Half)
 			}
@@ -151,14 +151,14 @@ func TestTreeStructure(t *testing.T) {
 			checkCell(sub)
 		}
 	}
-	checkCell(m.Var(res.FinalRoot).Data.(Cell))
+	checkCell(*m.Var(res.FinalRoot).Data.(*Cell))
 }
 
 // TestCOMCorrect: with Dt=0 the bodies do not move, so the final tree's
 // root COM/mass must match the exact values.
 func TestCOMCorrect(t *testing.T) {
 	m, res := runSmall(t, 2, 2, 100, 1, 1.0, 0, accesstree.Factory())
-	root := m.Var(res.FinalRoot).Data.(Cell)
+	root := *m.Var(res.FinalRoot).Data.(*Cell)
 	bodies := Plummer(100, 11)
 	var mass float64
 	var com Vec3

@@ -43,7 +43,7 @@ func Energy(bodies []Body, eps float64) float64 {
 func FinalBodies(m *core.Machine, res Result) []Body {
 	out := make([]Body, len(res.BodyVars))
 	for i, v := range res.BodyVars {
-		out[i] = m.Var(v).Data.(Body)
+		out[i] = *m.Var(v).Data.(*Body)
 	}
 	return out
 }
@@ -61,7 +61,10 @@ func WalkTree(m *core.Machine, root core.VarID, fn func(ref Ref, depth int, cell
 			fn(ref, depth, nil)
 			return
 		}
-		c := m.Var(ref.VarID()).Data.(Cell)
+		// Hand the callback a copy: the stored *Cell is live simulator
+		// state under the immutable-payload contract, and WalkTree's
+		// callers must not be able to mutate it in place.
+		c := *m.Var(ref.VarID()).Data.(*Cell)
 		fn(ref, depth, &c)
 		for _, ch := range c.Child {
 			rec(ch, depth+1)

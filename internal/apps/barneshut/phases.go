@@ -13,23 +13,23 @@ import (
 // synchronization structure of the SPLASH-2 code. Returns the depth at
 // which the body was placed.
 func insertBody(p *core.Proc, cfg Config, st *procState, root core.VarID, bv core.VarID) int {
-	b := p.Read(bv).(Body)
+	b := p.Read(bv).(*Body)
 	cur := root
 	for depth := 0; ; depth++ {
 		if depth > maxTreeDepth {
 			panic(fmt.Sprintf("barneshut: tree deeper than %d (coincident bodies?)", maxTreeDepth))
 		}
-		c := p.Read(cur).(Cell)
+		c := p.Read(cur).(*Cell)
 		oct, _ := octant(c.Center, c.Half, b.Pos)
 		child := c.Child[oct]
 		switch {
 		case child.Empty():
 			p.Lock(cur)
-			c = p.Read(cur).(Cell)
+			c = p.Read(cur).(*Cell)
 			if c.Child[oct].Empty() {
-				nc := c
+				nc := *c
 				nc.Child[oct] = MkBodyRef(bv)
-				p.Write(cur, nc)
+				p.Write(cur, &nc)
 				p.Unlock(cur)
 				return depth
 			}
@@ -42,21 +42,21 @@ func insertBody(p *core.Proc, cfg Config, st *procState, root core.VarID, bv cor
 			// The slot holds a body: subdivide — replace it by a new cell
 			// containing the old body, then continue the descent there.
 			p.Lock(cur)
-			c = p.Read(cur).(Cell)
+			c = p.Read(cur).(*Cell)
 			if c.Child[oct] != child {
 				p.Unlock(cur)
 				continue
 			}
 			sc := subCenter(c.Center, c.Half, oct)
-			newCell := Cell{Center: sc, Half: c.Half / 2, Level: c.Level + 1}
-			old := p.Read(child.VarID()).(Body)
+			newCell := &Cell{Center: sc, Half: c.Half / 2, Level: c.Level + 1}
+			old := p.Read(child.VarID()).(*Body)
 			oct2, _ := octant(sc, newCell.Half, old.Pos)
 			newCell.Child[oct2] = child
 			ncv := p.Alloc(CellBytes, newCell)
 			st.addCell(ncv, int(newCell.Level))
-			nc := c
+			nc := *c
 			nc.Child[oct] = MkCellRef(ncv)
-			p.Write(cur, nc)
+			p.Write(cur, &nc)
 			p.Unlock(cur)
 			cur = ncv
 		}
@@ -67,8 +67,8 @@ func insertBody(p *core.Proc, cfg Config, st *procState, root core.VarID, bv cor
 // cost (phase 2). The cell's children at deeper levels were completed in
 // earlier sweep iterations.
 func computeCOM(p *core.Proc, cfg Config, cv core.VarID) {
-	c := p.Read(cv).(Cell)
-	nc := c
+	c := p.Read(cv).(*Cell)
+	nc := *c
 	var com Vec3
 	var mass float64
 	var cost int64
@@ -80,10 +80,10 @@ func computeCOM(p *core.Proc, cfg Config, cv core.VarID) {
 		var pos Vec3
 		var cc int64
 		if ch.IsBody() {
-			b := p.Read(ch.VarID()).(Body)
+			b := p.Read(ch.VarID()).(*Body)
 			m, pos, cc = b.Mass, b.Pos, b.Cost
 		} else {
-			sub := p.Read(ch.VarID()).(Cell)
+			sub := p.Read(ch.VarID()).(*Cell)
 			m, pos, cc = sub.Mass, sub.COM, sub.Cost
 		}
 		mass += m
@@ -98,7 +98,7 @@ func computeCOM(p *core.Proc, cfg Config, cv core.VarID) {
 	}
 	nc.Mass = mass
 	nc.Cost = cost
-	p.Write(cv, nc)
+	p.Write(cv, &nc)
 	if cfg.WithCompute {
 		p.Compute(8 * cfg.OpenTestUS)
 	}
@@ -110,14 +110,14 @@ func computeCOM(p *core.Proc, cfg Config, cv core.VarID) {
 // are pruned using the parent's ChildCost table, so the traversal reads
 // only the cells on the zone's boundary paths plus its interior.
 func costzones(p *core.Proc, cfg Config, st *procState, root core.VarID, w, procs int) {
-	rc := p.Read(root).(Cell)
+	rc := p.Read(root).(*Cell)
 	total := rc.Cost
 	lo := int64(w) * total / int64(procs)
 	hi := int64(w+1) * total / int64(procs)
 	st.myBodies = st.myBodies[:0]
 
-	var walk func(c Cell, prefix int64)
-	walk = func(c Cell, prefix int64) {
+	var walk func(c *Cell, prefix int64)
+	walk = func(c *Cell, prefix int64) {
 		for i, ch := range c.Child {
 			if ch.Empty() {
 				continue
@@ -130,7 +130,7 @@ func costzones(p *core.Proc, cfg Config, st *procState, root core.VarID, w, proc
 						st.myBodies = append(st.myBodies, ch.VarID())
 					}
 				} else {
-					walk(p.Read(ch.VarID()).(Cell), prefix)
+					walk(p.Read(ch.VarID()).(*Cell), prefix)
 				}
 			}
 			prefix += cc
@@ -147,7 +147,7 @@ func forces(p *core.Proc, cfg Config, st *procState, root core.VarID) int64 {
 	st.costs = st.costs[:0]
 	var totalInter int64
 	for _, bv := range st.myBodies {
-		b := p.Read(bv).(Body)
+		b := p.Read(bv).(*Body)
 		var acc Vec3
 		var inter, opens int64
 		st.stack = st.stack[:0]
@@ -157,13 +157,13 @@ func forces(p *core.Proc, cfg Config, st *procState, root core.VarID) int64 {
 			st.stack = st.stack[:len(st.stack)-1]
 			if ref.IsBody() {
 				if ref.VarID() != bv {
-					o := p.Read(ref.VarID()).(Body)
+					o := p.Read(ref.VarID()).(*Body)
 					acc = acc.Add(accel(b.Pos, o.Pos, o.Mass, cfg.Eps))
 					inter++
 				}
 				continue
 			}
-			c := p.Read(ref.VarID()).(Cell)
+			c := p.Read(ref.VarID()).(*Cell)
 			opens++
 			d := c.COM.Sub(b.Pos).Norm()
 			if 2*c.Half < cfg.Theta*d {
@@ -196,12 +196,12 @@ func forces(p *core.Proc, cfg Config, st *procState, root core.VarID) int64 {
 // (which invalidates remote copies of the body).
 func advance(p *core.Proc, cfg Config, st *procState) {
 	for i, bv := range st.myBodies {
-		b := p.Read(bv).(Body)
-		nb := b
+		b := p.Read(bv).(*Body)
+		nb := *b
 		nb.Vel = b.Vel.Add(st.accs[i].Scale(cfg.Dt))
 		nb.Pos = b.Pos.Add(nb.Vel.Scale(cfg.Dt))
 		nb.Cost = st.costs[i]
-		p.Write(bv, nb)
+		p.Write(bv, &nb)
 		if cfg.WithCompute {
 			p.Compute(6 * cfg.OpenTestUS)
 		}
@@ -214,7 +214,7 @@ func reduceBounds(p *core.Proc, st *procState) cube {
 	local := bbox{Lo: Vec3{math.Inf(1), math.Inf(1), math.Inf(1)},
 		Hi: Vec3{math.Inf(-1), math.Inf(-1), math.Inf(-1)}}
 	for _, bv := range st.myBodies {
-		b := p.Read(bv).(Body)
+		b := p.Read(bv).(*Body)
 		local.Lo = local.Lo.Min(b.Pos)
 		local.Hi = local.Hi.Max(b.Pos)
 		local.Some = true

@@ -63,9 +63,12 @@ type barrier struct {
 	wakeBuf []relWake
 	wokenAt []sim.Time
 
-	// batched/cascaded count release epochs by path, for tests and PERF.md.
+	// batched/cascaded count release epochs by path; aborted counts the
+	// cascaded epochs whose speculative replay started and was rolled
+	// back by the exactness gate (for tests and PERF.md).
 	batched  uint64
 	cascaded uint64
+	aborted  uint64
 	noBatch  bool // test hook: force the cascade path
 
 	// msgs/sts recycle the cascade's payload and combining records through
@@ -262,6 +265,7 @@ func (b *barrier) releaseBatched(root int, val interface{}, size int) bool {
 		}
 	}
 	abort := func() bool {
+		b.aborted++
 		nw.InlineAbort()
 		for _, w := range wakes {
 			b.wokenAt[w.proc] = math.Inf(1)

@@ -22,10 +22,11 @@ func fastParams() mesh.Params {
 
 // barrierTrajectory runs rounds of barriers (with a reduction every other
 // round) and returns everything observable about the run.
-func barrierTrajectory(t *testing.T, cfg Config, rounds int, noBatch bool) (elapsed float64, cong mesh.Congestion, msgs [256]uint64, batched, cascaded uint64) {
+func barrierTrajectory(t *testing.T, cfg Config, rounds int, noBatch, twoStage bool) (elapsed float64, cong mesh.Congestion, msgs [256]uint64, b *barrier) {
 	t.Helper()
 	m := MustNewMachine(cfg)
 	m.bar.noBatch = noBatch
+	m.Net.SetTwoStageDelivery(twoStage)
 	err := m.Run(func(p *Proc) {
 		for r := 0; r < rounds; r++ {
 			if r%2 == 1 {
@@ -48,7 +49,7 @@ func barrierTrajectory(t *testing.T, cfg Config, rounds int, noBatch bool) (elap
 		t.Fatal(err)
 	}
 	msgs, _ = m.Net.SendStats()
-	return m.Elapsed(), m.Net.Congestion(nil), msgs, m.bar.batched, m.bar.cascaded
+	return m.Elapsed(), m.Net.Congestion(nil), msgs, m.bar
 }
 
 // TestBatchedReleaseMatchesCascade: on machines where the speculative
@@ -68,10 +69,11 @@ func TestBatchedReleaseMatchesCascade(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			const rounds = 12
-			elA, congA, msgsA, batched, _ := barrierTrajectory(t, tc.cfg, rounds, false)
-			elB, congB, msgsB, bB, _ := barrierTrajectory(t, tc.cfg, rounds, true)
-			if bB != 0 {
-				t.Fatalf("noBatch run still batched %d epochs", bB)
+			elA, congA, msgsA, barA := barrierTrajectory(t, tc.cfg, rounds, false, false)
+			batched := barA.batched
+			elB, congB, msgsB, barB := barrierTrajectory(t, tc.cfg, rounds, true, false)
+			if barB.batched != 0 {
+				t.Fatalf("noBatch run still batched %d epochs", barB.batched)
 			}
 			if elA != elB {
 				t.Errorf("elapsed: batched-gate %v != cascade %v", elA, elB)
@@ -93,11 +95,65 @@ func TestBatchedReleaseMatchesCascade(t *testing.T) {
 // the wake spread) tight enough that the gate commits even with the GCel's
 // 100us startups.
 func TestBatchedReleaseCommitsSomewhere(t *testing.T) {
-	_, _, _, batched, cascaded := barrierTrajectory(t, Config{
+	_, _, _, bar := barrierTrajectory(t, Config{
 		Rows: 4, Cols: 4, Seed: 7, Tree: decomp.Ary2,
-	}, 12, false)
+	}, 12, false, false)
+	batched, cascaded := bar.batched, bar.cascaded
 	t.Logf("batched=%d cascaded=%d", batched, cascaded)
 	if batched == 0 {
 		t.Fatal("batched release never committed on the low-startup machine")
+	}
+}
+
+// TestBarrierReleaseWithFusedDelivery is the delivery-pipeline A/B on the
+// barrier's two release paths: with fused (single-event) delivery and
+// with the two-stage oracle, every simulated observable and the
+// batched/cascaded split must be bit-identical — on machines where the
+// batch commits, and on machines where the speculative replay starts and
+// the exactness gate rolls the InlineSendAt/InlineRecvAt journal back.
+func TestBarrierReleaseWithFusedDelivery(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		cfg       Config
+		wantAbort bool
+	}{
+		// Binary tree on GCel params: the batch commits (PR 4).
+		{"commit-mesh4x4-ary2-gcel", Config{Rows: 4, Cols: 4, Seed: 7, Tree: decomp.Ary2}, false},
+		// Low-startup machine, tight binary fan-out: commits.
+		{"commit-mesh2x2-ary2", Config{Rows: 2, Cols: 2, Seed: 3, Tree: decomp.Ary2, Net: fastParams()}, false},
+		// Low-startup but 16-wide fan-out under this trajectory's compute
+		// skew: the replay starts every epoch and rolls back.
+		{"abort-mesh8x8-ary16", Config{Rows: 8, Cols: 8, Seed: 9, Tree: decomp.Ary16, Net: fastParams()}, true},
+		// Ary4 on GCel params: the 100us startups serialize the fan-out
+		// enough that the replay aborts and rolls back its journal.
+		{"abort-mesh4x4-ary4-gcel", Config{Rows: 4, Cols: 4, Seed: 7, Tree: decomp.Ary4}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const rounds = 12
+			elF, congF, msgsF, barF := barrierTrajectory(t, tc.cfg, rounds, false, false)
+			batF, casF, abF, fusedF := barF.batched, barF.cascaded, barF.aborted, barF.m.K.Stat.FusedDeliveries
+			elT, congT, msgsT, barT := barrierTrajectory(t, tc.cfg, rounds, false, true)
+			batT, casT, abT, fusedT := barT.batched, barT.cascaded, barT.aborted, barT.m.K.Stat.FusedDeliveries
+			if fusedF == 0 {
+				t.Error("fused run delivered no fused hops")
+			}
+			if fusedT != 0 {
+				t.Error("two-stage run still delivered fused hops")
+			}
+			if elF != elT || congF != congT || msgsF != msgsT {
+				t.Errorf("observables diverged: fused (t=%v, %+v) vs two-stage (t=%v, %+v)",
+					elF, congF, elT, congT)
+			}
+			if batF != batT || casF != casT || abF != abT {
+				t.Errorf("release paths diverged: fused %d/%d batched/cascaded (%d aborts), two-stage %d/%d (%d aborts)",
+					batF, casF, abF, batT, casT, abT)
+			}
+			if tc.wantAbort && abF == 0 {
+				t.Errorf("expected the speculative replay to start and roll back, but no aborts happened (batched=%d cascaded=%d)", batF, casF)
+			}
+			if !tc.wantAbort && batF == 0 {
+				t.Errorf("expected the batch to commit, got batched=0 (cascaded=%d, aborts=%d)", casF, abF)
+			}
+		})
 	}
 }

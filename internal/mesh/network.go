@@ -89,6 +89,7 @@ type Network struct {
 	T Topology
 	P Params
 
+	n        int // cached T.N(): the route memo's row stride
 	links    []link
 	handlers [256]Handler
 
@@ -103,10 +104,19 @@ type Network struct {
 	inboxes []nodeInbox
 
 	// arriveFn/readyFn are the two delivery stages, bound once so every
-	// message schedules through the kernel's typed-callback events instead
-	// of two fresh closures.
+	// message schedules through the kernel's typed-callback events
+	// instead of two fresh closures. In the fused pipeline (the default)
+	// the arrive stage runs on the kernel's lazy tier — same (t, seq)
+	// position, same charges, no regular event — so a hop costs one
+	// regular kernel event; in two-stage mode both stages are regular
+	// events.
 	arriveFn func(interface{})
 	readyFn  func(interface{})
+
+	// twoStage forces the classic two-event arrive → ready pair for
+	// every hop: the oracle the fused pipeline is A/B tested against
+	// (SetTwoStageDelivery).
+	twoStage bool
 	// freeMsgs is the Msg free list (the simulation is single-threaded, so
 	// a plain slice does what sync.Pool would, without the overhead).
 	freeMsgs []*Msg
@@ -117,6 +127,17 @@ type Network struct {
 	// single-threaded per kernel, so reuse across messages is safe.
 	routeBuf []int
 	startBuf []sim.Time
+
+	// routes memoizes the topology's deterministic route per (src, dst)
+	// pair, filled lazily on first use: routing every message through
+	// AppendRoute's coordinate walk was ~15% of the Barnes-Hut profile,
+	// a slab load is not. An entry packs offset<<8 | length into the
+	// shared link-id slab (0 = not cached yet), so the table costs four
+	// bytes per pair and the paths one int32 per link — read-only once
+	// built, no per-pair allocations.
+	routes     []uint32
+	routeSlab  []int32
+	route32Buf []int32 // scratch for routes the packed table cannot hold
 
 	// ilj journals Inline* charges between InlineBegin and
 	// InlineCommit/InlineAbort so a speculative replay can be reverted.
@@ -203,6 +224,7 @@ func NewNetwork(k *sim.Kernel, t Topology, p Params) *Network {
 		K:         k,
 		T:         t,
 		P:         p,
+		n:         t.N(),
 		links:     make([]link, t.NumLinks()),
 		cpuFree:   make([]sim.Time, t.N()),
 		computeUS: make([]float64, t.N()),
@@ -213,8 +235,20 @@ func NewNetwork(k *sim.Kernel, t Topology, p Params) *Network {
 	nw.handlers[KindInbox] = nw.deliverInbox
 	nw.arriveFn = nw.msgArrive
 	nw.readyFn = nw.msgReady
+	// The route memo table costs 4 bytes per (src, dst) pair; past ~2k
+	// nodes (16 MB) the table would dwarf the simulation itself, so huge
+	// machines keep the per-message route walk instead.
+	if n := t.N(); n*n <= 1<<22 {
+		nw.routes = make([]uint32, n*n)
+	}
 	return nw
 }
+
+// SetTwoStageDelivery forces the classic two-event (arrive → ready)
+// delivery pipeline for every hop instead of the fused single-event
+// pipeline. Both produce bit-identical simulated results — the switch
+// exists as the exact-by-construction oracle for A/B tests.
+func (nw *Network) SetTwoStageDelivery(on bool) { nw.twoStage = on }
 
 // AcquireMsg returns a zeroed message from the network's free list (or a
 // fresh one). It is recycled automatically after its destination handler
@@ -302,22 +336,45 @@ func (nw *Network) chargeSend(src int) sim.Time {
 }
 
 // deliverAfterRoute routes m starting at depart and schedules the arrival
-// stage. Delivery is two typed kernel events (arrive, then ready) carrying
-// the *Msg itself — no closures, no allocations.
+// stage. In the fused pipeline (the default) the arrive stage runs on the
+// kernel's lazy event tier: it executes at the exact (time, schedule
+// order) position its regular event would occupy — charging the
+// destination CPU identically and interleaving identically with every
+// other event — but without costing a regular kernel event, so a hop's
+// regular event traffic is the single ready event. In two-stage mode
+// (SetTwoStageDelivery, the A/B oracle) the arrive stage is a regular
+// event, the classic pair. Either way both stages are typed events
+// carrying the *Msg itself — no closures, no allocations.
 func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
 	nw.sendMsgs[m.Kind]++
 	nw.sendBytes[m.Kind] += uint64(m.Size)
 	arrive := nw.route(m, depart)
-	nw.K.AtCall(arrive, nw.arriveFn, m)
+	if nw.twoStage {
+		nw.K.Stat.TwoStageDeliveries++
+		nw.K.AtCall(arrive, nw.arriveFn, m)
+		return
+	}
+	nw.K.Stat.FusedDeliveries++
+	nw.K.AtLazyCall(arrive, nw.arriveFn, m)
 }
 
 // msgArrive charges the receive overhead on the destination CPU and
-// schedules the handler dispatch.
+// schedules the handler dispatch. It runs at the arrival time — on the
+// lazy tier in the fused pipeline, as a regular event in two-stage mode;
+// the charging is identical.
 func (nw *Network) msgArrive(x interface{}) {
 	m := x.(*Msg)
 	t := nw.K.Now()
-	if nw.cpuFree[m.Dst] > t {
-		t = nw.cpuFree[m.Dst]
+	if f := nw.cpuFree[m.Dst]; f > t {
+		// The receiver's CPU is busy at arrival: the receive startup
+		// queues behind it. Still one regular event in the fused
+		// pipeline — but worth counting, because a send-time fusion
+		// (predicting the ready time when the message departs) would
+		// have had to fall back to the two-event path here.
+		t = f
+		if !nw.twoStage {
+			nw.K.Stat.FusedBusyRecv++
+		}
 	}
 	ready := t + nw.P.StartupRecvUS
 	nw.cpuFree[m.Dst] = ready
@@ -391,6 +448,21 @@ func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 	return nw.routeRaw(m.Src, m.Dst, m.Size, depart)
 }
 
+// scratchRoute computes (src, dst)'s route into the reusable scratch
+// buffer, for machines without a memo table.
+func (nw *Network) scratchRoute(src, dst int) []int32 {
+	return nw.appendRoute32(nw.T.AppendRoute(nw.routeBuf[:0], src, dst))
+}
+
+// appendRoute32 copies a route into the reusable int32 scratch buffer.
+func (nw *Network) appendRoute32(p []int) []int32 {
+	nw.route32Buf = nw.route32Buf[:0]
+	for _, li := range p {
+		nw.route32Buf = append(nw.route32Buf, int32(li))
+	}
+	return nw.route32Buf
+}
+
 // routeRaw is route without the message object: the same charging from
 // scalar (src, dst, size), shared by the event-driven delivery path and the
 // inline replay helpers.
@@ -400,11 +472,30 @@ func (nw *Network) routeRaw(src, dst, size int, depart sim.Time) sim.Time {
 	}
 	dur := float64(size) / nw.P.BytesPerUS
 	t := depart
-	// Walk the path without allocating (routing runs for every message):
-	// the network's persistent buffers hold any route of the topology —
-	// their capacity is derived from the diameter at construction, so
-	// the old "rows+cols > 128" stack-buffer fallback is gone entirely.
-	path := nw.T.AppendRoute(nw.routeBuf[:0], src, dst)
+	// Routes are deterministic per (src, dst), so the path comes from the
+	// memo table — AppendRoute's coordinate walk runs once per pair, not
+	// once per message.
+	var path []int32
+	if nw.routes == nil {
+		// Machine too large for the memo table: walk the route directly.
+		path = nw.scratchRoute(src, dst)
+	} else if ent := nw.routes[src*nw.n+dst]; ent != 0 {
+		path = nw.routeSlab[ent>>8 : ent>>8+ent&0xff]
+	} else {
+		p := nw.T.AppendRoute(nw.routeBuf[:0], src, dst)
+		// Entries pack offset<<8 | length; a route longer than 255 links
+		// or a slab past 2^24 entries (neither reachable at the paper's
+		// machine sizes) is recomputed per message instead.
+		if s := len(nw.routeSlab); len(p) <= 0xff && s <= 1<<24-1 {
+			for _, li := range p {
+				nw.routeSlab = append(nw.routeSlab, int32(li))
+			}
+			nw.routes[src*nw.n+dst] = uint32(s)<<8 | uint32(len(p))
+			path = nw.routeSlab[s:]
+		} else {
+			path = nw.appendRoute32(p)
+		}
+	}
 	starts := nw.startBuf[:0]
 	journal := nw.ilj.active
 	for _, li := range path {

@@ -40,13 +40,47 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
+// Stats are cumulative counters of kernel activity. Events counts every
+// executed event — regular pops and lazy-tier executions (including
+// skipped wakeups of killed processes). The delivery counters are
+// maintained by the network layer: FusedDeliveries counts message hops
+// delivered through the fused single-event pipeline (the arrive stage ran
+// on the lazy tier), FusedBusyRecv the subset of those that found the
+// receiver's CPU busy at arrival (the receive startup then queues behind
+// it — still one regular event, but the case a send-time fusion would
+// have had to fall back on), and TwoStageDeliveries counts hops through
+// the classic arrive → ready event pair when two-stage delivery is
+// forced. FusedDeliveries / (FusedDeliveries + TwoStageDeliveries) is the
+// fused hit rate PERF.md tracks.
+type Stats struct {
+	Events             uint64
+	FusedDeliveries    uint64
+	FusedBusyRecv      uint64
+	TwoStageDeliveries uint64
+}
+
 // Kernel is the simulation engine. The zero value is not usable; construct
 // with New.
 type Kernel struct {
-	now   Time
-	seq   uint64
-	pq    []event // 4-ary min-heap ordered by (t, seq)
-	procs []*Proc
+	now Time
+	seq uint64
+	lq  ladderQueue // default event queue (ladder.go)
+	hq  heapQueue   // oracle event queue, selected by SetHeapQueue
+	// lazyq is the lazy event tier (AtLazyCall): callbacks executed
+	// inline at the loop's pop boundary, in their exact (t, seq) queue
+	// position, without costing a regular event pop. The network's fused
+	// delivery runs every arrive stage here, making a message hop one
+	// regular kernel event instead of two.
+	lazyq ladderQueue
+	// useHeap routes scheduling through the retained 4-ary heap instead
+	// of the ladder queue: the differential-test oracle, and a whole-run
+	// A/B switch (default from the diva_heapq build tag).
+	useHeap bool
+	procs   []*Proc
+
+	// Stat is written by the kernel and — for the delivery counters — by
+	// the network layer; read it after Run for hit-rate reporting.
+	Stat Stats
 	// mainCh hands the baton back to the goroutine that called Run: at
 	// termination (queue drained or Stop), or when the goroutine driving
 	// the loop was itself killed by an event it executed and must unwind.
@@ -71,16 +105,34 @@ type Kernel struct {
 
 // New returns an empty kernel at time 0.
 func New() *Kernel {
-	return &Kernel{mainCh: make(chan struct{}, 1)}
+	k := &Kernel{mainCh: make(chan struct{}, 1), useHeap: defaultHeapQueue}
+	k.lq.init()
+	k.lazyq.init()
+	return k
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending returns the number of scheduled events that have not executed
-// yet. Event callbacks can use it as a quiescence check: Pending() == 0
-// means nothing else is in flight besides the running callback.
-func (k *Kernel) Pending() int { return len(k.pq) + len(k.nowq) - k.nowqHead }
+// yet, including lazy-tier events. Event callbacks can use it as a
+// quiescence check: Pending() == 0 means nothing else is in flight
+// besides the running callback.
+func (k *Kernel) Pending() int {
+	return k.lq.len() + k.hq.len() + k.lazyq.len() + len(k.nowq) - k.nowqHead
+}
+
+// SetHeapQueue selects the event queue implementation: the retained 4-ary
+// heap oracle (true) or the default ladder queue (false). Both pop in the
+// exact same (t, seq) order, so whole-run results are identical; the
+// switch exists for A/B tests and the diva_heapq build tag flips the
+// default. It must be called before any event is scheduled.
+func (k *Kernel) SetHeapQueue(useHeap bool) {
+	if k.Pending() > 0 {
+		panic("sim: SetHeapQueue with events already scheduled")
+	}
+	k.useHeap = useHeap
+}
 
 // SetPinned controls whether Run pins GOMAXPROCS to 1 (the default).
 // Disable the pin when several independent kernels run concurrently —
@@ -94,6 +146,25 @@ func (k *Kernel) SetPinned(pinned bool) { k.noPin = !pinned }
 // exact same order — the determinism regression tests rely on this.
 func (k *Kernel) Fingerprint() uint64 { return k.fp }
 
+// fold records an executed event's (time, sequence) pair in the
+// fingerprint hash chain. Every executed event — regular pop, FIFO
+// bypass, or lazy tier — folds through this one function, so the
+// bit-identical-order guarantees pinned by the A/B tests cannot drift
+// between execution sites.
+func (k *Kernel) fold(e *event) {
+	k.fp = k.fp*0x9e3779b97f4a7c15 + (math.Float64bits(e.t) ^ e.seq)
+}
+
+// takeSlot fetches and recycles a callback event's payload. The slot is
+// recycled without clearing: it is fully overwritten on reuse, and until
+// then it retains only a bounded number of already-executed callback
+// references.
+func (k *Kernel) takeSlot(slot int32) payload {
+	pl := k.pay[slot]
+	k.payFree = append(k.payFree, slot)
+	return pl
+}
+
 // checkPast panics when t lies before now: it would make time run backwards.
 func (k *Kernel) checkPast(t Time) {
 	if t < k.now {
@@ -101,88 +172,80 @@ func (k *Kernel) checkPast(t Time) {
 	}
 }
 
-// push inserts e with inlined sift-up.
-func (k *Kernel) push(e event) {
-	h := append(k.pq, e)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !h[i].before(&h[p]) {
-			break
-		}
-		h[i], h[p] = h[p], h[i]
-		i = p
-	}
-	k.pq = h
-}
-
-// pop removes and returns the minimum event with inlined sift-down (hole
-// method: move the last element down instead of repeated swaps).
-func (k *Kernel) pop() event {
-	h := k.pq
-	top := h[0]
-	last := len(h) - 1
-	e := h[last]
-	h[last] = event{} // release payload references to the GC
-	h = h[:last]
-	k.pq = h
-	if last > 0 {
-		i := 0
-		for {
-			c := i<<2 + 1
-			if c >= last {
-				break
-			}
-			m := c
-			end := c + 4
-			if end > last {
-				end = last
-			}
-			for j := c + 1; j < end; j++ {
-				if h[j].before(&h[m]) {
-					m = j
-				}
-			}
-			if !h[m].before(&e) {
-				break
-			}
-			h[i] = h[m]
-			i = m
-		}
-		h[i] = e
-	}
-	return top
-}
-
 // sched enqueues e: same-timestamp events take the FIFO bypass, future
-// events the heap. Both orders compose to the global (t, seq) order — see
-// the nowq field comment.
+// events the selected queue (ladder by default, heap in oracle mode).
+// Both orders compose to the global (t, seq) order — see the nowq field
+// comment.
 func (k *Kernel) sched(e event) {
 	if e.t == k.now {
 		k.nowq = append(k.nowq, e)
 		return
 	}
-	k.push(e)
+	if k.useHeap {
+		k.hq.push(e)
+		return
+	}
+	k.lq.push(e)
 }
 
-// popNext removes and returns the globally next event: heap events of the
-// current timestamp first (they are older than anything in the bypass),
-// then the bypass FIFO, then the heap advances time.
-func (k *Kernel) popNext() event {
-	if len(k.pq) > 0 && k.pq[0].t == k.now {
-		return k.pop()
-	}
-	if k.nowqHead < len(k.nowq) {
-		e := k.nowq[k.nowqHead]
-		k.nowq[k.nowqHead] = event{}
-		k.nowqHead++
-		if k.nowqHead == len(k.nowq) {
-			k.nowq = k.nowq[:0]
-			k.nowqHead = 0
+// next selects and removes the globally next event by strict (t, seq)
+// order across all tiers — the main queue, the same-timestamp FIFO
+// bypass, and the lazy tier. Due lazy events are executed inline here
+// (with the clock advanced to their timestamps, exactly as if popped);
+// the returned event is always a regular one. ok is false when the
+// pending events were all lazy (everything ran inline) or a lazy
+// callback stopped the kernel — the caller re-evaluates.
+func (k *Kernel) next() (event, bool) {
+	for {
+		var reg *event
+		if k.useHeap {
+			if k.hq.len() > 0 {
+				reg = &k.hq.h[0]
+			}
+		} else {
+			reg = k.lq.peek()
 		}
-		return e
+		fromNowq := false
+		if k.nowqHead < len(k.nowq) {
+			// A bypass entry is younger than every queued event of its
+			// timestamp, so the (t, seq) comparison reproduces the
+			// "queue first at equal time" rule exactly.
+			if h := &k.nowq[k.nowqHead]; reg == nil || h.before(reg) {
+				reg = h
+				fromNowq = true
+			}
+		}
+		if k.lazyq.len() > 0 {
+			if le := k.lazyq.peek(); reg == nil || le.before(reg) {
+				e := k.lazyq.popFront()
+				k.now = e.t
+				k.Stat.Events++
+				k.fold(&e)
+				pl := k.takeSlot(e.slot)
+				pl.hfn(pl.arg)
+				if k.stopped {
+					return event{}, false
+				}
+				continue // the callback may have refilled any tier
+			}
+		}
+		if reg == nil {
+			return event{}, false
+		}
+		if fromNowq {
+			e := *reg
+			k.nowqHead++
+			if k.nowqHead == len(k.nowq) {
+				k.nowq = k.nowq[:0]
+				k.nowqHead = 0
+			}
+			return e, true
+		}
+		if k.useHeap {
+			return k.hq.pop(), true
+		}
+		return k.lq.popFront(), true
 	}
-	return k.pop()
 }
 
 // slot stores a callback payload and returns its table index.
@@ -212,6 +275,23 @@ func (k *Kernel) AtCall(t Time, fn func(interface{}), arg interface{}) {
 	k.checkPast(t)
 	k.seq++
 	k.sched(event{t: t, seq: k.seq, slot: k.slot(payload{hfn: fn, arg: arg})})
+}
+
+// AtLazyCall schedules fn(arg) on the lazy event tier. The callback runs
+// in event context at the exact (t, schedule-order) position a regular
+// AtCall event would occupy — same Now(), same interleaving with every
+// other event, same sequence numbers allocated by everything it schedules
+// — but it is executed inline inside the loop's event selection instead
+// of costing a regular queue pop, and it can never be the event that
+// resumes a process. Whole-run behavior is therefore bit-identical to
+// AtCall; the point is price: the network's fused delivery runs the
+// per-hop arrive stage here, halving the regular event traffic of every
+// message. The callback must not block; scheduling further events (lazy
+// or regular) from it is fine.
+func (k *Kernel) AtLazyCall(t Time, fn func(interface{}), arg interface{}) {
+	k.checkPast(t)
+	k.seq++
+	k.lazyq.push(event{t: t, seq: k.seq, slot: k.slot(payload{hfn: fn, arg: arg})})
 }
 
 // atProc schedules p to resume at absolute time t, with no allocation.
@@ -281,9 +361,13 @@ func (k *Kernel) Run() error {
 //     with a parked process is a deadlock).
 func (k *Kernel) loop(self *Proc, continuation bool) {
 	for k.Pending() > 0 && !k.stopped {
-		e := k.popNext()
+		e, ok := k.next()
+		if !ok {
+			continue // only lazy events were due; re-evaluate
+		}
 		k.now = e.t
-		k.fp = k.fp*0x9e3779b97f4a7c15 + (math.Float64bits(e.t) ^ e.seq)
+		k.Stat.Events++
+		k.fold(&e)
 		if p := e.proc; p != nil {
 			if p.done {
 				continue // killed while runnable; the pop is already folded
@@ -308,14 +392,11 @@ func (k *Kernel) loop(self *Proc, continuation bool) {
 			}
 			return // our wakeup was popped by another holder; park returns
 		}
-		pl := &k.pay[e.slot]
-		hfn, arg, fn := pl.hfn, pl.arg, pl.fn
-		*pl = payload{} // release references before the callback runs
-		k.payFree = append(k.payFree, e.slot)
-		if hfn != nil {
-			hfn(arg)
+		pl := k.takeSlot(e.slot)
+		if pl.hfn != nil {
+			pl.hfn(pl.arg)
 		} else {
-			fn()
+			pl.fn()
 		}
 		if self != nil && !continuation && self.done {
 			// The callback we just ran killed us. The body must not resume:

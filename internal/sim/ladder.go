@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// ladderQueue is the kernel's default event queue: a ladder/calendar queue
+// with an O(1) sorted-epoch front, rung buckets partitioned by timestamp,
+// and an unsorted overflow tail. Amortized it does O(1) work per event —
+// every event is appended to a bucket or the tail a bounded number of
+// times and participates in exactly one sort whose cost is shared by its
+// whole epoch — where a heap pays O(log n) sift traffic on every push and
+// pop. Pop order is provably identical to the heap's strict (t, seq)
+// order; the retained heapQueue (heapq.go) is the differential-test
+// oracle pinning that claim (ladder_test.go).
+//
+// Structure, nearest times first:
+//
+//	front   sorted []event, consumed from the head: the current "epoch".
+//	        All queue minima live here; pop is an index increment.
+//	rungs   a stack of rungs, each splitting a time interval into
+//	        lqBuckets equal-width buckets of unsorted events. rungs[d+1]
+//	        always refines one bucket of rungs[d], so the remaining
+//	        ranges nest: front < rungs[deepest] < ... < rungs[0] < tail.
+//	tail    unsorted far-future events beyond the shallowest rung.
+//
+// Invariants (the exactness argument):
+//
+//  1. Every event in front has t < frontEnd; every event in a rung lies
+//     in that rung's unconsumed range (above frontEnd and every deeper
+//     rung, below the rung's end); every tail event has t >= the
+//     shallowest rung's end (or >= frontEnd when no rungs exist). The
+//     partition is decided with canonical bucket-edge comparisons
+//     (edge(i) = start + width*i, computed identically on every path),
+//     so floating-point rounding can never place an event on the wrong
+//     side of a boundary.
+//  2. Pops only ever come from the sorted front, and the front is
+//     refilled only when empty — from the next nonempty bucket of the
+//     deepest rung (sorted by (t, seq)), recursively spreading
+//     oversized buckets into child rungs, or by converting the tail
+//     into a fresh rung. By (1) the refill holds exactly the globally
+//     smallest remaining events.
+//  3. Ties are broken by seq everywhere a sort or an insertion happens,
+//     and equal-t events can never straddle a partition boundary in the
+//     wrong order: boundaries are half-open with canonical comparisons,
+//     and any region consumed earlier only ever held events scheduled
+//     earlier (seq is globally monotone).
+//
+// Pushes below frontEnd insert into the sorted front (binary search +
+// memmove); a front grown past lqFrontCap spills into a fresh deepest
+// rung so the insertion cost stays bounded.
+type ladderQueue struct {
+	n int // total events across front, rungs and tail
+
+	front    []event // sorted ascending by (t, seq), consumed from fh
+	fh       int     // head index into front
+	frontEnd Time    // exclusive time bound of the front partition
+
+	rungs  []*lrung // rungs[len-1] is the deepest (currently consumed)
+	spare  []*lrung // recycled rung structs (bucket capacity retained)
+	idxBuf []uint8  // scratch bucket indices for spread
+
+	tail []event // unsorted overflow beyond the shallowest rung
+}
+
+const (
+	lqBuckets  = 32 // buckets per rung
+	lqSpawn    = 64 // bucket/tail size beyond which it becomes a rung
+	lqFrontCap = 32 // live front size beyond which a push spills it
+	lqMaxRungs = 12 // depth cap; beyond it buckets are sorted as-is
+)
+
+// lrung splits [start, end) into lqBuckets equal-width buckets. occ is
+// the nonempty-bucket bitmask: bit b set iff bkts[b] holds events, so
+// consumed buckets need no cursor and finding the next epoch is one
+// TrailingZeros instead of a scan.
+type lrung struct {
+	start Time
+	width Time
+	end   Time
+	n     int    // events remaining across all buckets
+	occ   uint32 // nonempty-bucket bits (lqBuckets <= 32)
+	bkts  [lqBuckets][]event
+}
+
+// edge returns the canonical lower boundary of bucket i. Every partition
+// decision compares against this exact expression, so all placements
+// agree even when (t-start)/width rounds across a boundary.
+func (r *lrung) edge(i int) Time { return r.start + r.width*Time(i) }
+
+// bucketOf returns the canonical bucket index of t: the unique i with
+// edge(i) <= t < edge(i+1), clamped to the rung.
+func (r *lrung) bucketOf(t Time) int {
+	f := (t - r.start) / r.width
+	i := 0
+	if f >= lqBuckets {
+		i = lqBuckets - 1
+	} else if f > 0 {
+		i = int(f)
+	}
+	for i > 0 && t < r.edge(i) {
+		i--
+	}
+	for i+1 < lqBuckets && t >= r.edge(i+1) {
+		i++
+	}
+	return i
+}
+
+// add appends e to its canonical bucket. The caller has checked that e
+// lies in the rung's remaining (unconsumed) range, so the bucket it
+// lands in has not been materialized yet.
+func (r *lrung) add(e event) {
+	b := r.bucketOf(e.t)
+	r.bkts[b] = append(r.bkts[b], e)
+	r.occ |= 1 << b
+	r.n++
+}
+
+// spread bulk-distributes evs into a fresh rung's buckets with
+// exact-capacity allocation: one pass bins, then each touched bucket is
+// sized once, then events are placed — no append-doubling garbage, which
+// dominated the ladder's allocation profile when clustered epochs spawned
+// child rungs repeatedly.
+func (q *ladderQueue) spread(r *lrung, evs []event) {
+	if cap(q.idxBuf) < len(evs) {
+		q.idxBuf = make([]uint8, len(evs))
+	}
+	idx := q.idxBuf[:len(evs)]
+	var cnt [lqBuckets]int32
+	for i := range evs {
+		b := r.bucketOf(evs[i].t)
+		idx[i] = uint8(b)
+		cnt[b]++
+	}
+	for b, c := range cnt {
+		if c > 0 {
+			if cap(r.bkts[b]) < int(c) {
+				r.bkts[b] = make([]event, 0, c)
+			}
+			r.occ |= 1 << b
+		}
+	}
+	for i := range evs {
+		b := idx[i]
+		r.bkts[b] = append(r.bkts[b], evs[i])
+	}
+	r.n += len(evs)
+}
+
+func (q *ladderQueue) init() {
+	q.frontEnd = math.Inf(1)
+}
+
+func (q *ladderQueue) len() int { return q.n }
+
+// push inserts e, deciding its tier by the nested range invariant.
+func (q *ladderQueue) push(e event) {
+	q.n++
+	if e.t < q.frontEnd {
+		q.pushFront(e)
+		return
+	}
+	for i := len(q.rungs) - 1; i >= 0; i-- {
+		r := q.rungs[i]
+		if e.t < r.end {
+			r.add(e)
+			return
+		}
+	}
+	q.tail = append(q.tail, e)
+}
+
+// pushFront inserts e into the sorted front at its (t, seq) position.
+func (q *ladderQueue) pushFront(e event) {
+	if q.fh == len(q.front) {
+		q.front = append(q.front[:0], e)
+		q.fh = 0
+		return
+	}
+	if len(q.front)-q.fh >= lqFrontCap && q.spillFront() {
+		// The front became a rung; re-route through the normal tiers.
+		q.n--
+		q.push(e)
+		return
+	}
+	// Binary search for the first element after e.
+	lo, hi := q.fh, len(q.front)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.front[mid].before(&e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.front = append(q.front, event{})
+	copy(q.front[lo+1:], q.front[lo:len(q.front)-1])
+	q.front[lo] = e
+}
+
+// spillFront converts the live front into a fresh deepest rung so sorted
+// insertion never degenerates past lqFrontCap. Reports false when the
+// front cannot be subdivided (zero time span or rung depth exhausted).
+func (q *ladderQueue) spillFront() bool {
+	if len(q.rungs) >= lqMaxRungs {
+		return false
+	}
+	live := q.front[q.fh:]
+	start, max := live[0].t, live[len(live)-1].t
+	end := q.frontEnd
+	if math.IsInf(end, 1) {
+		// No outer tier bounds the front; close the rung just above its
+		// current maximum. Later events go to the tail, as usual.
+		end = math.Nextafter(max, math.Inf(1))
+	}
+	r := q.newRung(start, end)
+	if r == nil {
+		return false
+	}
+	q.spread(r, live)
+	q.front, q.fh = q.front[:0], 0
+	q.rungs = append(q.rungs, r)
+	q.frontEnd = start
+	return true
+}
+
+// newRung returns a recycled (or fresh) rung over [start, end), or nil
+// when the interval is too narrow to subdivide.
+func (q *ladderQueue) newRung(start, end Time) *lrung {
+	width := (end - start) / lqBuckets
+	if !(width > 0) {
+		return nil
+	}
+	var r *lrung
+	if k := len(q.spare); k > 0 {
+		r = q.spare[k-1]
+		q.spare = q.spare[:k-1]
+	} else {
+		r = new(lrung)
+	}
+	r.start, r.width, r.end, r.n, r.occ = start, width, end, 0, 0
+	return r
+}
+
+// peek returns a pointer to the minimum event; nil when empty. It may
+// materialize the next epoch into the front (amortized against pops).
+func (q *ladderQueue) peek() *event {
+	if !q.ensureFront() {
+		return nil
+	}
+	return &q.front[q.fh]
+}
+
+// pop removes and returns the minimum event. Consumed entries are left
+// in place until their backing is reused: an event holds no payload —
+// only a *Proc (alive via Kernel.procs regardless) or a payload-table
+// slot index — so stale copies retain nothing the GC could free.
+func (q *ladderQueue) pop() event {
+	q.ensureFront()
+	return q.popFront()
+}
+
+// popFront removes the front head; the caller has already peeked it (so
+// the front is known nonempty). Small enough to inline into the kernel's
+// event selection.
+func (q *ladderQueue) popFront() event {
+	e := q.front[q.fh]
+	q.fh++
+	q.n--
+	return e
+}
+
+// ensureFront refills the sorted front from the deeper tiers until it is
+// nonempty; reports false when the whole queue is empty.
+func (q *ladderQueue) ensureFront() bool {
+	for q.fh == len(q.front) {
+		if d := len(q.rungs) - 1; d >= 0 {
+			r := q.rungs[d]
+			if r.n == 0 {
+				q.spare = append(q.spare, r)
+				q.rungs[d] = nil
+				q.rungs = q.rungs[:d]
+				continue
+			}
+			c := bits.TrailingZeros32(r.occ)
+			r.occ &^= 1 << c
+			b := r.bkts[c]
+			r.n -= len(b)
+			bEnd := r.edge(c + 1)
+			if c == lqBuckets-1 {
+				bEnd = r.end
+			}
+			if len(b) > lqSpawn && len(q.rungs) < lqMaxRungs {
+				if child := q.newRung(r.edge(c), bEnd); child != nil {
+					q.spread(child, b)
+					r.bkts[c] = b[:0]
+					q.rungs = append(q.rungs, child)
+					continue
+				}
+			}
+			// This bucket is the next epoch: sort it in place and swap
+			// it in as the front — the consumed front backing becomes
+			// the bucket's empty backing, no copying. spread's
+			// exact-capacity allocation keeps the swapped capacities
+			// from churning.
+			sortEvents(b)
+			old := q.front[:0]
+			q.front, q.fh = b, 0
+			r.bkts[c] = old
+			q.frontEnd = bEnd
+			continue
+		}
+		if len(q.tail) == 0 {
+			return false
+		}
+		q.convertTail()
+	}
+	return true
+}
+
+// convertTail turns the unsorted tail into a fresh rung 0 — or, when it
+// is small or spans no time range, directly into the sorted front.
+func (q *ladderQueue) convertTail() {
+	min, max := q.tail[0].t, q.tail[0].t
+	for _, e := range q.tail[1:] {
+		if e.t < min {
+			min = e.t
+		}
+		if e.t > max {
+			max = e.t
+		}
+	}
+	// A tail beyond the front cap becomes a rung, closed just above max
+	// so the maximum's bucket is half-open like every other; new arrivals
+	// beyond it re-enter the tail. Smaller tails (a near-empty queue)
+	// skip the rung machinery and become the sorted front directly —
+	// should the queue then grow while frontEnd sits past every event in
+	// play, the spill cap converts the front into a rung before sorted
+	// insertion degenerates.
+	if len(q.tail) > lqFrontCap {
+		if r := q.newRung(min, math.Nextafter(max, math.Inf(1))); r != nil {
+			q.spread(r, q.tail)
+			q.tail = q.tail[:0]
+			q.rungs = append(q.rungs, r)
+			q.frontEnd = min
+			return
+		}
+	}
+	// Small tail (or zero time span): the whole tail is one epoch,
+	// swapped in as the front without copying.
+	sortEvents(q.tail)
+	old := q.front[:0]
+	q.front, q.fh = q.tail, 0
+	q.tail = old
+	q.frontEnd = math.Nextafter(max, math.Inf(1))
+}
+
+// sortEvents sorts by strict (t, seq) order without allocating: binary
+// insertion for short runs, median-of-three quicksort above that. seq
+// values are unique, so the order is total and stability is irrelevant.
+func sortEvents(a []event) {
+	for len(a) > 24 {
+		// Median-of-three pivot, moved to a[0].
+		m := len(a) / 2
+		l := len(a) - 1
+		if a[m].before(&a[0]) {
+			a[m], a[0] = a[0], a[m]
+		}
+		if a[l].before(&a[0]) {
+			a[l], a[0] = a[0], a[l]
+		}
+		if a[l].before(&a[m]) {
+			a[l], a[m] = a[m], a[l]
+		}
+		a[0], a[m] = a[m], a[0]
+		p := a[0]
+		i, j := 1, l
+		for {
+			for i <= j && a[i].before(&p) {
+				i++
+			}
+			for j >= i && !a[j].before(&p) {
+				j--
+			}
+			if i > j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+		a[0], a[j] = a[j], a[0]
+		// Recurse on the smaller half, iterate on the larger.
+		if j < len(a)-j-1 {
+			sortEvents(a[:j])
+			a = a[j+1:]
+		} else {
+			sortEvents(a[j+1:])
+			a = a[:j]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && e.before(&a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}

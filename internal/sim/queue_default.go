@@ -1,0 +1,8 @@
+//go:build !diva_heapq
+
+package sim
+
+// defaultHeapQueue selects the event queue New installs: the ladder queue
+// by default; `-tags diva_heapq` flips every kernel onto the retained
+// 4-ary heap oracle for whole-build A/B runs.
+const defaultHeapQueue = false

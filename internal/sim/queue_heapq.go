@@ -1,0 +1,7 @@
+//go:build diva_heapq
+
+package sim
+
+// defaultHeapQueue under the diva_heapq build tag: every kernel runs on
+// the retained 4-ary heap oracle instead of the ladder queue.
+const defaultHeapQueue = true
