@@ -31,7 +31,7 @@ check-imports:
 # micro-benchmarks) once and records ns/op, allocs/op and all reported
 # simulated-result metrics as BENCH_<date>.json, keeping the perf
 # trajectory machine-readable across PRs (see PERF.md).
-BENCH_PATTERN = 'BenchmarkFig|BenchmarkKernelQueue|BenchmarkMessageHop'
+BENCH_PATTERN = 'BenchmarkFig|BenchmarkKernelQueue|BenchmarkMessageHop|BenchmarkShardScaling'
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(DATE).json
@@ -52,15 +52,21 @@ bench:
 # MAX_ALLOC_REGRESS gates allocs/op with a tight default: allocation
 # counts are near-deterministic and machine-independent, so unlike ns/op
 # the bound does not need to be loosened for cross-machine CI runs.
+# BENCH_REQUIRE names benchmark families (prefixes) that must be present
+# both in the fresh run and in the committed baseline: -expect only covers
+# what the current test binary lists, so without the baseline check a new
+# benchmark family could land without ever refreshing BENCH_<date>.json.
 BASELINE = $(lastword $(sort $(shell git ls-files 'BENCH_*.json')))
+BENCH_REQUIRE = BenchmarkShardScaling
 MAX_REGRESS ?= 50
 MAX_ALLOC_REGRESS ?= 10
 bench-check:
 	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson > .bench-new.json
 	$(GO) test -run '^$$' -list $(BENCH_PATTERN) . | grep '^Benchmark' > .benchlist.txt
-	$(GO) run ./cmd/benchjson -check .bench-new.json -expect .benchlist.txt
+	$(GO) run ./cmd/benchjson -check .bench-new.json -expect .benchlist.txt -require $(BENCH_REQUIRE)
 	@if [ -n "$(BASELINE)" ]; then \
+		$(GO) run ./cmd/benchjson -check "$(BASELINE)" -require $(BENCH_REQUIRE); \
 		$(GO) run ./cmd/benchjson -diff -max-regress $(MAX_REGRESS) \
 			-max-alloc-regress $(MAX_ALLOC_REGRESS) "$(BASELINE)" .bench-new.json; \
 	else \

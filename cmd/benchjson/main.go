@@ -8,13 +8,17 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkFig -benchmem . | benchjson > BENCH_2026-07-26.json
-//	benchjson -check BENCH_2026-07-26.json -expect benchlist.txt
+//	benchjson -check BENCH_2026-07-26.json -expect benchlist.txt -require BenchmarkShardScaling
 //	benchjson -diff BENCH_old.json BENCH_new.json [-max-regress 50] [-max-alloc-regress 10]
 //
 // Check mode guards the pipeline against silent drift: it verifies the
 // emitted file parses, that every benchmark named in -expect (one name per
 // line, as printed by `go test -list`) is present, and that every entry
-// recorded an iteration count and a positive ns/op.
+// recorded an iteration count and a positive ns/op. -require names
+// benchmark prefixes (comma-separated) that must each match at least one
+// entry — pointed at the committed baseline it forces a BENCH refresh when
+// a new benchmark family lands, where -expect can only see what the
+// current test binary lists.
 //
 // Diff mode compares two emitted documents benchmark by benchmark and
 // fails when new is worse than old: an ns/op regression beyond
@@ -51,6 +55,7 @@ type result struct {
 func main() {
 	check := flag.String("check", "", "validate an emitted BENCH_<date>.json instead of converting stdin")
 	expect := flag.String("expect", "", "check mode: file listing required benchmark names, one per line")
+	require := flag.String("require", "", "check mode: comma-separated benchmark-name prefixes that must each match at least one entry")
 	diff := flag.Bool("diff", false, "compare two BENCH json files: benchjson -diff old.json new.json")
 	maxRegress := flag.Float64("max-regress", 50, "diff mode: max tolerated ns/op regression in percent")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 10, "diff mode: max tolerated allocs/op regression in percent (plus a fixed slack of 16 allocs)")
@@ -67,7 +72,7 @@ func main() {
 		return
 	}
 	if *check != "" {
-		if err := runCheck(*check, *expect); err != nil {
+		if err := runCheck(*check, *expect, *require); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -224,8 +229,9 @@ func runDiff(oldPath, newPath string, maxRegress, maxAllocRegress float64) error
 }
 
 // runCheck validates an emitted JSON document: it must parse, contain
-// every expected benchmark, and every entry must have run.
-func runCheck(path, expectPath string) error {
+// every expected benchmark and at least one entry per required prefix,
+// and every entry must have run.
+func runCheck(path, expectPath, require string) error {
 	got, err := loadResults(path)
 	if err != nil {
 		return err
@@ -234,6 +240,22 @@ func runCheck(path, expectPath string) error {
 	for name, r := range got {
 		if r.Iterations <= 0 || r.NsPerOp <= 0 {
 			broken = append(broken, name)
+		}
+	}
+	for _, prefix := range strings.Split(require, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		found := false
+		for name := range got {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, prefix+"*")
 		}
 	}
 	if expectPath != "" {

@@ -59,6 +59,7 @@ func main() {
 	compute := flag.Bool("compute", false, "charge local computation costs (matmul/bitonic)")
 	seed := flag.Uint64("seed", 1999, "random seed")
 	capacity := flag.Int("capacity", 0, "cache capacity per node in bytes (0 = unbounded)")
+	shards := flag.Int("shards", 0, "event-kernel shards for parallel execution (0 = $DIVA_SHARDS or 1; results are identical)")
 	verbose := flag.Bool("v", false, "print per-message-kind statistics")
 	heatmap := flag.Bool("heatmap", false, "print a per-link load heatmap (deciles of the busiest link)")
 	flag.Parse()
@@ -76,6 +77,7 @@ func main() {
 		diva.WithTopologyName(*topoFlag, rows, cols),
 		diva.WithSeed(*seed),
 		diva.WithCacheCapacity(*capacity),
+		diva.WithShards(*shards),
 	}
 	if handopt {
 		opts = append(opts, diva.WithTree(diva.Ary2))

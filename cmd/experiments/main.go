@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"diva/experiments"
@@ -28,7 +29,14 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down inputs (seconds instead of tens of minutes)")
 	seed := flag.Uint64("seed", 1999, "random seed (1999: the year of the paper)")
 	workers := flag.Int("workers", 1, "number of figures to run concurrently (0: one per CPU)")
+	shards := flag.Int("shards", 0, "event-kernel shards per machine (0 = $DIVA_SHARDS or 1; figures are identical)")
 	flag.Parse()
+
+	if *shards > 0 {
+		// The figure runners build their machines with the default shard
+		// count, which reads DIVA_SHARDS — the flag just sets it.
+		os.Setenv("DIVA_SHARDS", strconv.Itoa(*shards))
+	}
 
 	r := experiments.New(os.Stdout, *quick, *seed)
 	if *workers == 0 {

@@ -176,6 +176,17 @@ func WithConcurrent(on bool) Option {
 	return func(o *options) { o.cfg.Concurrent = on }
 }
 
+// WithShards partitions the processors across n event-kernel shards for
+// conservative-parallel execution: simulated results are bit-identical to
+// the sequential kernel, wall-clock improves on multicore hosts. 0 (the
+// default) reads the DIVA_SHARDS environment variable, defaulting to 1.
+// The count is clamped to the processor count; machines with a data
+// management strategy run sequentially regardless (DSM request/response
+// traffic has no lookahead window to parallelize across).
+func WithShards(n int) Option {
+	return func(o *options) { o.cfg.Shards = n }
+}
+
 // New builds a simulated DIVA machine from functional options and
 // validates the configuration: errors — an unknown registry name,
 // non-positive mesh dimensions, an unsupported decomposition tree, a

@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"diva/internal/decomp"
 	"diva/internal/mesh"
@@ -78,6 +80,14 @@ type Config struct {
 	// unaffected — the pin is purely a wall-clock optimization for
 	// single-machine runs.
 	Concurrent bool
+	// Shards partitions the processors across that many event-kernel
+	// shards for conservative-parallel execution (sim.Cluster): same
+	// simulated results bit for bit, less wall-clock on multicore hosts.
+	// 0 reads the DIVA_SHARDS environment variable, defaulting to 1
+	// (sequential). The count is clamped to the processor count; machines
+	// with a data management strategy run sequentially regardless — DSM
+	// request/response traffic has no lookahead to parallelize across.
+	Shards int
 }
 
 // Machine is a simulated parallel machine running the DIVA library.
@@ -99,6 +109,13 @@ type Machine struct {
 	bar *barrier
 
 	procs []*Proc
+
+	// Sharded conservative-parallel execution (sim.Cluster); all nil on a
+	// sequential machine. K is the cluster's first kernel then — the one
+	// that carries the aggregated stats and fingerprint after Run.
+	cluster *sim.Cluster
+	kernels []*sim.Kernel
+	shardOf []int
 }
 
 // NewMachine builds a machine from cfg. The configuration is validated:
@@ -131,14 +148,65 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.CacheCapacity < 0 {
 		return nil, fmt.Errorf("diva: cache capacity must be non-negative, have %d", cfg.CacheCapacity)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("diva: shard count must be non-negative, have %d", cfg.Shards)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+		if s := os.Getenv("DIVA_SHARDS"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("diva: DIVA_SHARDS must be a positive integer, have %q", s)
+			}
+			shards = n
+		}
+	}
+	// Effective shard count: clamped to the processor count, forced to 1
+	// when a strategy is attached (DSM traffic has no lookahead window) or
+	// when the timing parameters leave no positive lookahead.
+	if shards > topo.N() {
+		shards = topo.N()
+	}
+	if cfg.Strategy != nil {
+		shards = 1
+	}
+	var shardOf []int
+	var lookahead sim.Time
+	if shards > 1 {
+		shardOf = decomp.ShardBlocks(topo, shards)
+		// The window lookahead is the minimum delay any cross-shard
+		// interaction takes: one send startup plus the head latency of the
+		// route. Any shard holding more than one node can issue node-local
+		// cross-node sends through the shared wormhole links, so only the
+		// all-singleton partition gets credit for longer minimum routes.
+		d := 1
+		if shards == topo.N() {
+			d = minCrossShardDist(topo, shardOf)
+		}
+		lookahead = sim.Time(cfg.Net.StartupSendUS + cfg.Net.HopLatencyUS*float64(d))
+		if lookahead <= 0 {
+			shards, shardOf = 1, nil
+		}
+	}
 	m := &Machine{
-		K:    sim.New(),
 		Topo: topo,
 		Cfg:  cfg,
 		RNG:  xrand.New(cfg.Seed ^ 0xd1b54a32d192ed03),
 	}
-	m.K.SetPinned(!cfg.Concurrent)
+	if shards > 1 {
+		m.cluster = sim.NewCluster(shards, lookahead)
+		m.kernels = m.cluster.Kernels()
+		m.shardOf = shardOf
+		m.K = m.kernels[0]
+	} else {
+		m.K = sim.New()
+		m.K.SetPinned(!cfg.Concurrent)
+	}
 	m.Net = mesh.NewNetwork(m.K, m.Topo, cfg.Net)
+	if m.cluster != nil {
+		m.Net.Shard(m.cluster, m.shardOf)
+	}
 	m.Tree = decomp.Build(m.Topo, cfg.Tree)
 	m.caches = make([]Cache, m.Topo.N())
 	for i := range m.caches {
@@ -162,8 +230,51 @@ func MustNewMachine(cfg Config) *Machine {
 	return m
 }
 
+// minCrossShardDist returns the minimum route length between processors of
+// different shards (the lookahead credit for all-singleton partitions).
+func minCrossShardDist(t mesh.Topology, shardOf []int) int {
+	best := t.Diameter()
+	for a := 0; a < t.N(); a++ {
+		for b := a + 1; b < t.N(); b++ {
+			if shardOf[a] == shardOf[b] {
+				continue
+			}
+			if d := t.Dist(a, b); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
 // P returns the number of processors.
 func (m *Machine) P() int { return m.Topo.N() }
+
+// Shards returns the number of event-kernel shards the machine runs on
+// (1 for a sequential machine).
+func (m *Machine) Shards() int {
+	if m.cluster == nil {
+		return 1
+	}
+	return len(m.kernels)
+}
+
+// ShardOf returns the shard index owning node (0 on a sequential machine).
+func (m *Machine) ShardOf(node int) int {
+	if m.shardOf == nil {
+		return 0
+	}
+	return m.shardOf[node]
+}
+
+// KernelAt returns the kernel owning node: every event scheduled for a
+// node — and every Now() read on its behalf — must go through its owner.
+func (m *Machine) KernelAt(node int) *sim.Kernel {
+	if m.cluster == nil {
+		return m.K
+	}
+	return m.kernels[m.shardOf[node]]
+}
 
 // MeshTopo returns the machine's topology as a 2D mesh when it is one
 // (the hand-optimized message passing programs and the link heatmaps are
@@ -209,7 +320,7 @@ func (m *Machine) SpawnAll(program func(p *Proc)) {
 	for i := 0; i < m.P(); i++ {
 		p := &Proc{ID: i, M: m}
 		m.procs = append(m.procs, p)
-		p.Proc = m.K.Spawn(fmt.Sprintf("p%d", i), func(sp *sim.Proc) {
+		p.Proc = m.KernelAt(i).Spawn(fmt.Sprintf("p%d", i), func(sp *sim.Proc) {
 			program(p)
 		})
 	}

@@ -1,0 +1,46 @@
+package decomp
+
+import "diva/internal/mesh"
+
+// ShardBlocks partitions a topology's processors into k topology-aware
+// blocks for the sharded event kernel (sim.Cluster): contiguous submeshes
+// on grids, contiguous id ranges (subcubes / subtrees) otherwise. The
+// blocks come from repeatedly applying the paper's halving rule to the
+// largest remaining region — the same splits the decomposition tree uses —
+// so shard-internal traffic is short-haul and cross-shard traffic crosses
+// few region boundaries. Returns the proc → shard map; shards are numbered
+// in decomposition order and differ in size by at most one halving step.
+// k must be in [1, N].
+func ShardBlocks(t mesh.Topology, k int) []int {
+	if k < 1 || k > t.N() {
+		panic("decomp: shard count out of range")
+	}
+	regions := []Region{rootRegion(t)}
+	for len(regions) < k {
+		// Split the largest region (ties: first in decomposition order).
+		li := 0
+		for i, r := range regions {
+			if r.Size() > regions[li].Size() {
+				li = i
+			}
+		}
+		a, b := regions[li].Halves()
+		regions = append(regions, nil)
+		copy(regions[li+2:], regions[li+1:])
+		regions[li], regions[li+1] = a, b
+	}
+	shardOf := make([]int, t.N())
+	for p := range shardOf {
+		shardOf[p] = -1
+		for i, r := range regions {
+			if r.ContainsProc(p) {
+				shardOf[p] = i
+				break
+			}
+		}
+		if shardOf[p] < 0 {
+			panic("decomp: shard blocks do not cover the topology")
+		}
+	}
+	return shardOf
+}

@@ -142,6 +142,14 @@ type Network struct {
 	// ilj journals Inline* charges between InlineBegin and
 	// InlineCommit/InlineAbort so a speculative replay can be reverted.
 	ilj inlineJournal
+
+	// Sharded-cluster state (shard.go); nil on a single-kernel network.
+	kernels []*sim.Kernel    // per-shard kernels, indexed by shard
+	shardOf []int            // node -> shard
+	freeSh  [][]*Msg         // per-shard Msg free lists
+	statSh  []shardSendStats // per-shard send counters (in-window local sends)
+	defSh   [][]deferredSend // per-shard deferred cross-node sends
+	defCur  []int            // replay cursors into defSh
 }
 
 // inlineJournal records every mutation the Inline* helpers (and routeRaw
@@ -266,7 +274,7 @@ func (nw *Network) AcquireMsg() *Msg {
 // SendPooled sends a recycled message: protocol hot paths use it to make a
 // full send-route-deliver cycle allocation-free.
 func (nw *Network) SendPooled(src, dst, size int, kind uint8, payload interface{}) {
-	m := nw.AcquireMsg()
+	m := nw.acquireMsgFor(src)
 	m.Src, m.Dst, m.Size, m.Kind, m.Payload = src, dst, size, kind, payload
 	nw.Send(m)
 }
@@ -274,13 +282,20 @@ func (nw *Network) SendPooled(src, dst, size int, kind uint8, payload interface{
 // SendPooledTag is SendPooled with a Tag, for protocols that pack their
 // per-hop state into the tag instead of allocating a payload.
 func (nw *Network) SendPooledTag(src, dst, size int, kind uint8, tag int, payload interface{}) {
-	m := nw.AcquireMsg()
+	m := nw.acquireMsgFor(src)
 	m.Src, m.Dst, m.Size, m.Kind, m.Tag, m.Payload = src, dst, size, kind, tag, payload
 	nw.Send(m)
 }
 
-// releaseMsg returns a pooled message to the free list.
+// releaseMsg returns a pooled message to the free list — the list of the
+// shard that just ran its handler (the destination's) when clustered.
 func (nw *Network) releaseMsg(m *Msg) {
+	if nw.shardOf != nil {
+		si := nw.shardOf[m.Dst]
+		*m = Msg{pooled: true}
+		nw.freeSh[si] = append(nw.freeSh[si], m)
+		return
+	}
 	*m = Msg{pooled: true}
 	nw.freeMsgs = append(nw.freeMsgs, m)
 }
@@ -320,13 +335,21 @@ func (nw *Network) SendFrom(p *sim.Proc, m *Msg) {
 // SendStats reports how many messages (and payload bytes) of each kind
 // were sent, including node-local deliveries.
 func (nw *Network) SendStats() (msgs, bytes [256]uint64) {
-	return nw.sendMsgs, nw.sendBytes
+	msgs, bytes = nw.sendMsgs, nw.sendBytes
+	for i := range nw.statSh {
+		st := &nw.statSh[i]
+		for k := range st.msgs {
+			msgs[k] += st.msgs[k]
+			bytes[k] += st.bytes[k]
+		}
+	}
+	return msgs, bytes
 }
 
 // chargeSend reserves the source CPU for the send startup and returns the
 // time the message leaves the node.
 func (nw *Network) chargeSend(src int) sim.Time {
-	t := nw.K.Now()
+	t := nw.kOf(src).Now()
 	if nw.cpuFree[src] > t {
 		t = nw.cpuFree[src]
 	}
@@ -346,16 +369,46 @@ func (nw *Network) chargeSend(src int) sim.Time {
 // event, the classic pair. Either way both stages are typed events
 // carrying the *Msg itself — no closures, no allocations.
 func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
+	if nw.shardOf != nil {
+		if ks := nw.kOf(m.Src); ks.InWindow() {
+			if m.Src != m.Dst {
+				// Cross-node send inside a window: routing would touch
+				// the shared link state, so the send is deferred —
+				// logged in the shard's op log and replayed by the
+				// coordinator at the boundary merge in exact global
+				// order (replayDeferred in shard.go).
+				ks.LogDefer()
+				si := nw.shardOf[m.Src]
+				nw.defSh[si] = append(nw.defSh[si], deferredSend{m, depart})
+				return
+			}
+			// Node-local delivery: no link access, stays inline on the
+			// owning shard; counters go to the per-shard stats.
+			st := &nw.statSh[nw.shardOf[m.Src]]
+			st.msgs[m.Kind]++
+			st.bytes[m.Kind] += uint64(m.Size)
+			arrive := depart + nw.P.LocalDeliveryUS
+			if nw.twoStage {
+				ks.Stat.TwoStageDeliveries++
+				ks.AtCall(arrive, nw.arriveFn, m)
+				return
+			}
+			ks.Stat.FusedDeliveries++
+			ks.AtLazyCall(arrive, nw.arriveFn, m)
+			return
+		}
+	}
 	nw.sendMsgs[m.Kind]++
 	nw.sendBytes[m.Kind] += uint64(m.Size)
 	arrive := nw.route(m, depart)
+	kd := nw.kOf(m.Dst)
 	if nw.twoStage {
-		nw.K.Stat.TwoStageDeliveries++
-		nw.K.AtCall(arrive, nw.arriveFn, m)
+		kd.Stat.TwoStageDeliveries++
+		kd.AtCall(arrive, nw.arriveFn, m)
 		return
 	}
-	nw.K.Stat.FusedDeliveries++
-	nw.K.AtLazyCall(arrive, nw.arriveFn, m)
+	kd.Stat.FusedDeliveries++
+	kd.AtLazyCall(arrive, nw.arriveFn, m)
 }
 
 // msgArrive charges the receive overhead on the destination CPU and
@@ -364,7 +417,8 @@ func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
 // the charging is identical.
 func (nw *Network) msgArrive(x interface{}) {
 	m := x.(*Msg)
-	t := nw.K.Now()
+	k := nw.kOf(m.Dst)
+	t := k.Now()
 	if f := nw.cpuFree[m.Dst]; f > t {
 		// The receiver's CPU is busy at arrival: the receive startup
 		// queues behind it. Still one regular event in the fused
@@ -373,12 +427,12 @@ func (nw *Network) msgArrive(x interface{}) {
 		// have had to fall back to the two-event path here.
 		t = f
 		if !nw.twoStage {
-			nw.K.Stat.FusedBusyRecv++
+			k.Stat.FusedBusyRecv++
 		}
 	}
 	ready := t + nw.P.StartupRecvUS
 	nw.cpuFree[m.Dst] = ready
-	nw.K.AtCall(ready, nw.readyFn, m)
+	k.AtCall(ready, nw.readyFn, m)
 }
 
 // msgReady dispatches m to its kind's handler and recycles pooled messages.
@@ -549,7 +603,7 @@ func (nw *Network) Compute(p *sim.Proc, node int, d float64) {
 	if d <= 0 {
 		return
 	}
-	t := nw.K.Now()
+	t := nw.kOf(node).Now()
 	if nw.cpuFree[node] > t {
 		t = nw.cpuFree[node]
 	}
@@ -562,7 +616,7 @@ func (nw *Network) Compute(p *sim.Proc, node int, d float64) {
 // ChargeCPU charges d microseconds of protocol bookkeeping on node without
 // blocking anyone and without counting it as application compute.
 func (nw *Network) ChargeCPU(node int, d float64) {
-	t := nw.K.Now()
+	t := nw.kOf(node).Now()
 	if nw.cpuFree[node] > t {
 		t = nw.cpuFree[node]
 	}

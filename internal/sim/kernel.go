@@ -101,6 +101,12 @@ type Kernel struct {
 	// avoided entirely for the same-timestamp churn of the protocol layer.
 	nowq     []event
 	nowqHead int
+
+	// sh is non-nil when this kernel is one shard of a Cluster
+	// (cluster.go): sequence numbers then come from the cluster (direct
+	// mode) or a per-window temporary namespace, the loop stops at window
+	// horizons, and Run drives the whole cluster.
+	sh *shard
 }
 
 // New returns an empty kernel at time 0.
@@ -117,9 +123,88 @@ func (k *Kernel) Now() Time { return k.now }
 // Pending returns the number of scheduled events that have not executed
 // yet, including lazy-tier events. Event callbacks can use it as a
 // quiescence check: Pending() == 0 means nothing else is in flight
-// besides the running callback.
+// besides the running callback. On a clustered kernel the answer covers
+// all shards: exact outside windows and in exclusive windows (where
+// deferred sends and wakeups each count as the one event they will
+// materialize into); in a multi-shard window it reports the count at
+// window open, which is necessarily positive — quiescence gates stay
+// conservatively closed (see cluster.go).
 func (k *Kernel) Pending() int {
+	if k.sh != nil {
+		return k.sh.cl.pending(k)
+	}
+	return k.localPending()
+}
+
+// localPending counts this kernel's own unexecuted events across all
+// tiers (the pre-cluster Pending).
+func (k *Kernel) localPending() int {
 	return k.lq.len() + k.hq.len() + k.lazyq.len() + len(k.nowq) - k.nowqHead
+}
+
+// minDue returns the timestamp of this kernel's earliest unexecuted
+// event; ok is false when nothing is pending. The cluster coordinator
+// derives window bounds from it between windows.
+func (k *Kernel) minDue() (Time, bool) {
+	var best Time
+	ok := false
+	if k.nowqHead < len(k.nowq) {
+		best, ok = k.nowq[k.nowqHead].t, true
+	}
+	if k.useHeap {
+		if k.hq.len() > 0 {
+			if t := k.hq.h[0].t; !ok || t < best {
+				best, ok = t, true
+			}
+		}
+	} else if e := k.lq.peek(); e != nil {
+		if !ok || e.t < best {
+			best, ok = e.t, true
+		}
+	}
+	if k.lazyq.len() > 0 {
+		if e := k.lazyq.peek(); !ok || e.t < best {
+			best, ok = e.t, true
+		}
+	}
+	return best, ok
+}
+
+// remapSeqs rewrites the sequence numbers of every queued event through f
+// (the boundary renumbering of temporary sequences). Within one shard and
+// window, temporaries are allocated in the same relative order their
+// final sequences are assigned in, so the rewrite preserves the strict
+// (t, seq) order of any two queued events and every queue invariant.
+func (k *Kernel) remapSeqs(f func(uint64) uint64) {
+	k.lq.remapSeqs(f)
+	k.hq.remapSeqs(f)
+	k.lazyq.remapSeqs(f)
+	for i := k.nowqHead; i < len(k.nowq); i++ {
+		k.nowq[i].seq = f(k.nowq[i].seq)
+	}
+}
+
+// InWindow reports whether this kernel is a shard currently executing
+// inside a conservative window (the network layer defers cross-node
+// sends exactly then).
+func (k *Kernel) InWindow() bool { return k.sh != nil && k.sh.window }
+
+// LogDefer records a deferred cross-node send in the shard's window op
+// log, holding its place in the global sequence-allocation order until
+// the boundary merge replays it.
+func (k *Kernel) LogDefer() {
+	k.sh.ops = append(k.sh.ops, opDefer)
+	k.sh.deferN++
+}
+
+// InjectCallAt buffers a callback event carrying a pre-assigned final
+// sequence number for this shard's queue (lazy tier when lazy is set).
+// Only the cluster's deferred-send replay uses it, during a boundary
+// merge; the buffered events are pushed after the queues are renumbered.
+func (k *Kernel) InjectCallAt(t Time, seq uint64, lazy bool, fn func(interface{}), arg interface{}) {
+	cl := k.sh.cl
+	cl.mat = append(cl.mat, matEvent{k: k, lazy: lazy,
+		e: event{t: t, seq: seq, slot: k.slot(payload{hfn: fn, arg: arg})}})
 }
 
 // SetHeapQueue selects the event queue implementation: the retained 4-ary
@@ -150,9 +235,39 @@ func (k *Kernel) Fingerprint() uint64 { return k.fp }
 // fingerprint hash chain. Every executed event — regular pop, FIFO
 // bypass, or lazy tier — folds through this one function, so the
 // bit-identical-order guarantees pinned by the A/B tests cannot drift
-// between execution sites.
+// between execution sites. On a shard executing inside a window the
+// event is logged instead: the boundary merge folds it into the cluster
+// fingerprint with its final sequence, in exact global order.
 func (k *Kernel) fold(e *event) {
-	k.fp = k.fp*0x9e3779b97f4a7c15 + (math.Float64bits(e.t) ^ e.seq)
+	if sh := k.sh; sh != nil {
+		if sh.window {
+			sh.logExec(e)
+			return
+		}
+		sh.cl.fp = sh.cl.fp*fpGolden + (math.Float64bits(e.t) ^ e.seq)
+		return
+	}
+	k.fp = k.fp*fpGolden + (math.Float64bits(e.t) ^ e.seq)
+}
+
+// allocSeq returns the next sequence number for an event scheduled by
+// this kernel: the kernel's own monotone counter normally; on a clustered
+// kernel, the cluster's global counter (direct mode) or a per-window
+// temporary above the watermark, recorded in the op log so the boundary
+// merge can assign the final sequence in exact global allocation order.
+func (k *Kernel) allocSeq() uint64 {
+	if sh := k.sh; sh != nil {
+		if sh.window {
+			k.seq++
+			sh.ops = append(sh.ops, opLocal)
+			return k.seq
+		}
+		cl := sh.cl
+		cl.gseq++
+		return cl.gseq
+	}
+	k.seq++
+	return k.seq
 }
 
 // takeSlot fetches and recycles a callback event's payload. The slot is
@@ -217,6 +332,12 @@ func (k *Kernel) next() (event, bool) {
 		}
 		if k.lazyq.len() > 0 {
 			if le := k.lazyq.peek(); reg == nil || le.before(reg) {
+				if sh := k.sh; sh != nil && sh.window && le.t >= sh.horizon {
+					// The globally next local event lies at or beyond the
+					// window horizon: the window is over for this shard.
+					sh.paused = true
+					return event{}, false
+				}
 				e := k.lazyq.popFront()
 				k.now = e.t
 				k.Stat.Events++
@@ -230,6 +351,10 @@ func (k *Kernel) next() (event, bool) {
 			}
 		}
 		if reg == nil {
+			return event{}, false
+		}
+		if sh := k.sh; sh != nil && sh.window && reg.t >= sh.horizon {
+			sh.paused = true
 			return event{}, false
 		}
 		if fromNowq {
@@ -264,8 +389,7 @@ func (k *Kernel) slot(p payload) int32 {
 // the past panics: it would make time run backwards.
 func (k *Kernel) At(t Time, fn func()) {
 	k.checkPast(t)
-	k.seq++
-	k.sched(event{t: t, seq: k.seq, slot: k.slot(payload{fn: fn})})
+	k.sched(event{t: t, seq: k.allocSeq(), slot: k.slot(payload{fn: fn})})
 }
 
 // AtCall schedules fn(arg) to run in event context at absolute time t.
@@ -273,8 +397,7 @@ func (k *Kernel) At(t Time, fn func()) {
 // per-event state through arg (a pointer, so no boxing allocation either).
 func (k *Kernel) AtCall(t Time, fn func(interface{}), arg interface{}) {
 	k.checkPast(t)
-	k.seq++
-	k.sched(event{t: t, seq: k.seq, slot: k.slot(payload{hfn: fn, arg: arg})})
+	k.sched(event{t: t, seq: k.allocSeq(), slot: k.slot(payload{hfn: fn, arg: arg})})
 }
 
 // AtLazyCall schedules fn(arg) on the lazy event tier. The callback runs
@@ -290,15 +413,23 @@ func (k *Kernel) AtCall(t Time, fn func(interface{}), arg interface{}) {
 // or regular) from it is fine.
 func (k *Kernel) AtLazyCall(t Time, fn func(interface{}), arg interface{}) {
 	k.checkPast(t)
-	k.seq++
-	k.lazyq.push(event{t: t, seq: k.seq, slot: k.slot(payload{hfn: fn, arg: arg})})
+	k.lazyq.push(event{t: t, seq: k.allocSeq(), slot: k.slot(payload{hfn: fn, arg: arg})})
 }
 
-// atProc schedules p to resume at absolute time t, with no allocation.
+// atProc schedules p to resume at absolute time t, with no allocation. A
+// process owned by another shard of the same cluster is routed through
+// the cluster's cross-shard wakeup path (deferred past the horizon,
+// injected in an exclusive window).
 func (k *Kernel) atProc(t Time, p *Proc) {
+	if p.k != k {
+		if k.sh == nil || p.k.sh == nil || p.k.sh.cl != k.sh.cl {
+			panic("sim: scheduling a wakeup for a process of an unrelated kernel")
+		}
+		k.sh.cl.crossWake(k, t, p)
+		return
+	}
 	k.checkPast(t)
-	k.seq++
-	k.sched(event{t: t, seq: k.seq, proc: p})
+	k.sched(event{t: t, seq: k.allocSeq(), proc: p})
 }
 
 // After schedules fn to run in event context after delay d (d >= 0).
@@ -321,6 +452,12 @@ func (k *Kernel) After(d Time, fn func()) {
 // for its duration and restores it afterwards — unless SetPinned(false)
 // opted out because several kernels run concurrently.
 func (k *Kernel) Run() error {
+	if k.sh != nil {
+		// A clustered kernel is one shard: Run drives the whole cluster
+		// under conservative windows (cluster.go), unpinned so shards can
+		// execute in parallel.
+		return k.sh.cl.Run()
+	}
 	if !k.noPin {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	}
@@ -360,10 +497,13 @@ func (k *Kernel) Run() error {
 //     (continuation) or blocks for the inevitable kill (a drained queue
 //     with a parked process is a deadlock).
 func (k *Kernel) loop(self *Proc, continuation bool) {
-	for k.Pending() > 0 && !k.stopped {
+	for k.localPending() > 0 && !k.stopped {
+		if sh := k.sh; sh != nil && sh.window && (sh.paused || sh.cl.curtail) {
+			break // window over: horizon reached, or curtailed by an injection
+		}
 		e, ok := k.next()
 		if !ok {
-			continue // only lazy events were due; re-evaluate
+			continue // only lazy events were due (or the horizon hit); re-evaluate
 		}
 		k.now = e.t
 		k.Stat.Events++
@@ -426,9 +566,16 @@ func (k *Kernel) loop(self *Proc, continuation bool) {
 // processes are not killed; call Shutdown for that.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Shutdown force-terminates all live processes. It is safe to call after
-// Run has returned; used by tests to avoid goroutine leaks.
-func (k *Kernel) Shutdown() { k.killAll() }
+// Shutdown force-terminates all live processes (on every shard, for a
+// clustered kernel). It is safe to call after Run has returned; used by
+// tests to avoid goroutine leaks.
+func (k *Kernel) Shutdown() {
+	if k.sh != nil {
+		k.sh.cl.shutdown()
+		return
+	}
+	k.killAll()
+}
 
 func (k *Kernel) killAll() {
 	for _, p := range k.procs {

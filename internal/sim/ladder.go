@@ -62,13 +62,16 @@ type ladderQueue struct {
 	idxBuf []uint8  // scratch bucket indices for spread
 
 	tail []event // unsorted overflow beyond the shallowest rung
+
+	sortBuf []event // cached epoch-sort scratch, reused across materializations
 }
 
 const (
-	lqBuckets  = 32 // buckets per rung
-	lqSpawn    = 64 // bucket/tail size beyond which it becomes a rung
-	lqFrontCap = 32 // live front size beyond which a push spills it
-	lqMaxRungs = 12 // depth cap; beyond it buckets are sorted as-is
+	lqBuckets    = 32 // buckets per rung
+	lqSpawn      = 64 // bucket/tail size beyond which it becomes a rung
+	lqFrontCap   = 32 // live front size beyond which a push spills it
+	lqMaxRungs   = 12 // depth cap; beyond it buckets are sorted as-is
+	lqSmallEpoch = 24 // epoch size at or below which insertion sort runs directly
 )
 
 // lrung splits [start, end) into lqBuckets equal-width buckets. occ is
@@ -305,7 +308,7 @@ func (q *ladderQueue) ensureFront() bool {
 			// the bucket's empty backing, no copying. spread's
 			// exact-capacity allocation keeps the swapped capacities
 			// from churning.
-			sortEvents(b)
+			q.sortEpoch(b)
 			old := q.front[:0]
 			q.front, q.fh = b, 0
 			r.bkts[c] = old
@@ -350,57 +353,87 @@ func (q *ladderQueue) convertTail() {
 	}
 	// Small tail (or zero time span): the whole tail is one epoch,
 	// swapped in as the front without copying.
-	sortEvents(q.tail)
+	q.sortEpoch(q.tail)
 	old := q.front[:0]
 	q.front, q.fh = q.tail, 0
 	q.tail = old
 	q.frontEnd = math.Nextafter(max, math.Inf(1))
 }
 
-// sortEvents sorts by strict (t, seq) order without allocating: binary
-// insertion for short runs, median-of-three quicksort above that. seq
-// values are unique, so the order is total and stability is irrelevant.
-func sortEvents(a []event) {
-	for len(a) > 24 {
-		// Median-of-three pivot, moved to a[0].
-		m := len(a) / 2
-		l := len(a) - 1
-		if a[m].before(&a[0]) {
-			a[m], a[0] = a[0], a[m]
-		}
-		if a[l].before(&a[0]) {
-			a[l], a[0] = a[0], a[l]
-		}
-		if a[l].before(&a[m]) {
-			a[l], a[m] = a[m], a[l]
-		}
-		a[0], a[m] = a[m], a[0]
-		p := a[0]
-		i, j := 1, l
-		for {
-			for i <= j && a[i].before(&p) {
-				i++
+// remapSeqs rewrites every queued event's sequence number through f. The
+// rewrite is order-preserving (see Kernel.remapSeqs), so sorted fronts
+// stay sorted and the time-partition invariants are untouched — bucket
+// membership depends only on timestamps.
+func (q *ladderQueue) remapSeqs(f func(uint64) uint64) {
+	if q.n == 0 {
+		return
+	}
+	for i := q.fh; i < len(q.front); i++ {
+		q.front[i].seq = f(q.front[i].seq)
+	}
+	for _, r := range q.rungs {
+		for b := range r.bkts {
+			bk := r.bkts[b]
+			for i := range bk {
+				bk[i].seq = f(bk[i].seq)
 			}
-			for j >= i && !a[j].before(&p) {
-				j--
-			}
-			if i > j {
-				break
-			}
-			a[i], a[j] = a[j], a[i]
-			i++
-			j--
-		}
-		a[0], a[j] = a[j], a[0]
-		// Recurse on the smaller half, iterate on the larger.
-		if j < len(a)-j-1 {
-			sortEvents(a[:j])
-			a = a[j+1:]
-		} else {
-			sortEvents(a[j+1:])
-			a = a[:j]
 		}
 	}
+	for i := range q.tail {
+		q.tail[i].seq = f(q.tail[i].seq)
+	}
+}
+
+// sortEpoch sorts one epoch by strict (t, seq) order. Small epochs — the
+// common case at GCel event densities — take the insertion fast path with
+// no further dispatch. Larger epochs run a bottom-up merge sort whose
+// scratch buffer is cached on the queue and reused across epoch
+// materializations, so the ~5% epoch-sort share of a run costs no
+// per-epoch allocation and each merge pass is a sequential scan (with an
+// already-ordered shortcut) instead of the random exchanges of the
+// previous quicksort. seq values are unique, so the order is total and
+// stability is irrelevant.
+func (q *ladderQueue) sortEpoch(a []event) {
+	n := len(a)
+	if n <= lqSmallEpoch {
+		insertionSortEvents(a)
+		return
+	}
+	for lo := 0; lo < n; lo += lqSmallEpoch {
+		hi := lo + lqSmallEpoch
+		if hi > n {
+			hi = n
+		}
+		insertionSortEvents(a[lo:hi])
+	}
+	if cap(q.sortBuf) < n {
+		q.sortBuf = make([]event, n)
+	}
+	buf := q.sortBuf[:n]
+	src, dst := a, buf
+	for width := lqSmallEpoch; width < n; width <<= 1 {
+		for lo := 0; lo < n; lo += width << 1 {
+			mid, hi := lo+width, lo+(width<<1)
+			if mid >= n {
+				copy(dst[lo:n], src[lo:n])
+				break
+			}
+			if hi > n {
+				hi = n
+			}
+			mergeEvents(dst[lo:hi], src[lo:mid], src[mid:hi])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// insertionSortEvents is the small-epoch fast path: plain binary-free
+// insertion, optimal for the short, mostly-ordered runs bucket appends
+// produce.
+func insertionSortEvents(a []event) {
 	for i := 1; i < len(a); i++ {
 		e := a[i]
 		j := i - 1
@@ -410,4 +443,29 @@ func sortEvents(a []event) {
 		}
 		a[j+1] = e
 	}
+}
+
+// mergeEvents merges the sorted runs a and b into dst
+// (len(dst) == len(a)+len(b)). Runs that are already in order — frequent,
+// since bucket contents arrive in near-schedule order — reduce to two
+// copies.
+func mergeEvents(dst, a, b []event) {
+	if len(b) == 0 || !b[0].before(&a[len(a)-1]) {
+		copy(dst, a)
+		copy(dst[len(a):], b)
+		return
+	}
+	i, j, o := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].before(&a[i]) {
+			dst[o] = b[j]
+			j++
+		} else {
+			dst[o] = a[i]
+			i++
+		}
+		o++
+	}
+	copy(dst[o:], a[i:])
+	copy(dst[o+len(a)-i:], b[j:])
 }

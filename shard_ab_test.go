@@ -1,0 +1,164 @@
+// A/B tests for the PR 6 sharded conservative-parallel event kernel: a
+// machine split across K kernel shards must produce the bit-identical
+// trajectory of the sequential kernel — the same executed-event-order
+// fingerprint, simulated time, congestion and message counts — on every
+// workload × topology cell. Hand-optimized workloads genuinely shard;
+// machines with a DSM strategy run sequentially by design (no lookahead),
+// and the matrix pins that requesting shards there is a no-op.
+package diva_test
+
+import (
+	"fmt"
+	"testing"
+
+	"diva"
+)
+
+// shardRun is one shard count's trajectory.
+type shardRun struct {
+	shards      int // effective count, from Machine.Shards
+	fingerprint uint64
+	elapsedUS   float64
+	congMax     uint64
+	congTotal   uint64
+	sendMsgs    uint64
+	sendBytes   uint64
+}
+
+// runSharded builds a machine with the given shard request plus opts, runs
+// w, and collects the trajectory.
+func runSharded(t *testing.T, w diva.Workload, shards int, opts ...diva.Option) shardRun {
+	t.Helper()
+	opts = append(opts, diva.WithShards(shards), diva.WithConcurrent(true))
+	m := diva.MustNew(opts...)
+	res, err := w.Run(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Net.Congestion(nil)
+	msgs, bytes := m.Net.SendStats()
+	var sm, sb uint64
+	for k := range msgs {
+		sm += msgs[k]
+		sb += bytes[k]
+	}
+	return shardRun{
+		shards:      m.Shards(),
+		fingerprint: m.K.Fingerprint(),
+		elapsedUS:   res.ElapsedUS,
+		congMax:     c.MaxMsgs,
+		congTotal:   c.TotalMsgs,
+		sendMsgs:    sm,
+		sendBytes:   sb,
+	}
+}
+
+// checkShardAB pins the trajectory of every requested shard count to the
+// sequential baseline.
+func checkShardAB(t *testing.T, w diva.Workload, counts []int, wantEff func(req int) int, opts ...diva.Option) {
+	t.Helper()
+	base := runSharded(t, w, 1, opts...)
+	if base.fingerprint == 0 {
+		t.Fatal("no fingerprint collected")
+	}
+	for _, n := range counts {
+		got := runSharded(t, w, n, opts...)
+		if want := wantEff(n); got.shards != want {
+			t.Errorf("shards=%d: effective count %d, want %d", n, got.shards, want)
+		}
+		if got.fingerprint != base.fingerprint {
+			t.Errorf("shards=%d: event-order fingerprint %#x != sequential %#x", n, got.fingerprint, base.fingerprint)
+		}
+		if got != (shardRun{shards: got.shards, fingerprint: got.fingerprint,
+			elapsedUS: base.elapsedUS, congMax: base.congMax, congTotal: base.congTotal,
+			sendMsgs: base.sendMsgs, sendBytes: base.sendBytes}) {
+			t.Errorf("shards=%d: observables diverged: %+v vs %+v", n, got, base)
+		}
+	}
+}
+
+var shardTopologies = []string{"mesh", "torus", "hypercube", "fattree"}
+
+// TestShardABHandOpt is the sharding matrix proper: the strategy-free
+// workloads across every topology, shards 2 and 4 against sequential.
+func TestShardABHandOpt(t *testing.T) {
+	eff := func(req int) int { return req }
+	for _, topo := range shardTopologies {
+		topo := topo
+		t.Run("stencil/"+topo, func(t *testing.T) {
+			w := diva.Stencil(diva.StencilConfig{Iters: 4, HaloInts: 64, WithCompute: true, OpUS: 0.5, Check: true, Seed: 7})
+			checkShardAB(t, w, []int{2, 4}, eff,
+				diva.WithTopologyName(topo, 8, 8), diva.WithSeed(1999), diva.WithTree(diva.Ary2))
+		})
+		t.Run("bitonic-handopt/"+topo, func(t *testing.T) {
+			w := diva.BitonicHandOpt(diva.BitonicConfig{KeysPerProc: 64, Check: true, Seed: 7})
+			checkShardAB(t, w, []int{2, 4}, eff,
+				diva.WithTopologyName(topo, 8, 8), diva.WithSeed(1999), diva.WithTree(diva.Ary2))
+		})
+	}
+	t.Run("matmul-handopt/mesh", func(t *testing.T) {
+		w := diva.MatmulHandOpt(diva.MatmulConfig{BlockInts: 256, WithCompute: true, OpUS: 3.45, Seed: 1})
+		checkShardAB(t, w, []int{2, 4}, eff,
+			diva.WithMesh(8, 8), diva.WithSeed(1999), diva.WithTree(diva.Ary2))
+	})
+}
+
+// TestShardABDSM pins the strategy cells of the matrix: a DSM machine has
+// no lookahead window, so a shard request must be an exact no-op — the
+// machine reports one effective shard and the trajectory is untouched.
+func TestShardABDSM(t *testing.T) {
+	one := func(int) int { return 1 }
+	for _, strat := range []string{"fixedhome", "at4"} {
+		for _, topo := range shardTopologies {
+			strat, topo := strat, topo
+			t.Run("matmul/"+strat+"/"+topo, func(t *testing.T) {
+				w := diva.Matmul(diva.MatmulConfig{BlockInts: 64, Seed: 1})
+				checkShardAB(t, w, []int{4}, one,
+					diva.WithTopologyName(topo, 8, 8), diva.WithSeed(1999), diva.WithStrategyName(strat))
+			})
+			t.Run("bitonic/"+strat+"/"+topo, func(t *testing.T) {
+				w := diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2})
+				checkShardAB(t, w, []int{4}, one,
+					diva.WithTopologyName(topo, 8, 8), diva.WithSeed(1999), diva.WithStrategyName(strat))
+			})
+			if testing.Short() {
+				continue
+			}
+			t.Run("barneshut/"+strat+"/"+topo, func(t *testing.T) {
+				w := diva.BarnesHut(diva.BarnesHutConfig{N: 128, Steps: 2, MeasureFrom: 1, Seed: 3, WithCompute: true})
+				checkShardAB(t, w, []int{4}, one,
+					diva.WithTopologyName(topo, 4, 4), diva.WithSeed(1999), diva.WithStrategyName(strat))
+			})
+		}
+	}
+}
+
+// TestShardFuzzFingerprints is the randomized determinism sweep: stencil
+// configurations drawn from a seeded generator must fingerprint-match
+// across shards ∈ {1, 2, 4, 8}.
+func TestShardFuzzFingerprints(t *testing.T) {
+	cases := 6
+	if testing.Short() {
+		cases = 2
+	}
+	rng := uint64(0x1999)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for i := 0; i < cases; i++ {
+		topo := shardTopologies[next(len(shardTopologies))]
+		rows, cols := 4+4*next(2), 8
+		iters := 2 + next(4)
+		halo := 16 << next(3)
+		seed := uint64(1 + next(1_000_000))
+		name := fmt.Sprintf("%s_%dx%d_it%d_h%d_s%d", topo, rows, cols, iters, halo, seed)
+		t.Run(name, func(t *testing.T) {
+			w := diva.Stencil(diva.StencilConfig{Iters: iters, HaloInts: halo, WithCompute: next(2) == 0, OpUS: 0.5, Check: true, Seed: seed})
+			checkShardAB(t, w, []int{2, 4, 8}, func(req int) int { return req },
+				diva.WithTopologyName(topo, rows, cols), diva.WithSeed(seed), diva.WithTree(diva.Ary2))
+		})
+	}
+}

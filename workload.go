@@ -4,6 +4,7 @@ import (
 	"diva/internal/apps/barneshut"
 	"diva/internal/apps/bitonic"
 	"diva/internal/apps/matmul"
+	"diva/internal/apps/stencil"
 )
 
 // Workload is an application that runs on a simulated machine. The three
@@ -58,6 +59,10 @@ type (
 	Body = barneshut.Body
 	// Vec3 is the 3-vector of the N-body model.
 	Vec3 = barneshut.Vec3
+	// StencilConfig parameterizes the iterative halo exchange.
+	StencilConfig = stencil.Config
+	// StencilResult is the halo exchange's detailed result.
+	StencilResult = stencil.Result
 )
 
 // workload implements Workload from a name and a run closure.
@@ -134,6 +139,20 @@ func BarnesHut(cfg BarnesHutConfig) Workload {
 			return Result{}, err
 		}
 		return Result{ElapsedUS: res.ElapsedUS, Detail: res}, nil
+	}}
+}
+
+// Stencil returns the iterative halo-exchange kernel: nearest-neighbor
+// messages plus a global barrier per iteration, hand-optimized message
+// passing only (the machine needs no strategy). It is the canonical
+// workload of the kernel-shard scaling benchmarks.
+func Stencil(cfg StencilConfig) Workload {
+	return workload{name: "stencil", run: func(m *Machine, _ *Collector) (Result, error) {
+		res, err := stencil.Run(m, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{ElapsedUS: res.ElapsedUS, Verified: res.Verified, Detail: res}, nil
 	}}
 }
 
