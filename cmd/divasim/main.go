@@ -1,9 +1,10 @@
 // Command divasim runs a single application/strategy configuration on a
 // simulated machine and reports congestion and execution time — the
 // exploration tool behind the experiment harness. It is built entirely on
-// the public diva API: the -strategy and -topology flags resolve through
-// the diva/strategy and diva/topology registries, and the applications run
-// through the diva.Workload interface.
+// the public diva API: every invocation is turned into a diva.Spec (the
+// serializable run description of diva/spec) and handed to diva.FromSpec,
+// so a command line, a -spec JSON document and a request to the serve
+// mode all describe the identical run.
 //
 // Examples:
 //
@@ -12,111 +13,143 @@
 //	divasim -app barneshut -strategy fixedhome -mesh 8x8 -bodies 4000
 //	divasim -app matmul -strategy handopt -mesh 32x32 -block 4096
 //	divasim -app barneshut -strategy at4 -topology torus -mesh 8x8
-//	divasim -app barneshut -strategy at2 -topology hypercube -mesh 8x8
+//	divasim -spec run.json
+//	divasim -list
+//	divasim serve -addr :8080 -workers 4
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"diva"
-	"diva/strategy"
-	"diva/topology"
+	"diva/serve"
+	"diva/spec"
 )
 
-func parseMesh(s string) (int, int, error) {
-	parts := strings.Split(s, "x")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("mesh %q: want ROWSxCOLS", s)
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
 	}
-	r, err := strconv.Atoi(parts[0])
-	if err != nil {
-		return 0, 0, err
-	}
-	c, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return 0, 0, err
-	}
-	if r <= 0 || c <= 0 {
-		return 0, 0, fmt.Errorf("mesh %q: dimensions must be positive", s)
-	}
-	return r, c, nil
+	runMain(os.Args[1:])
 }
 
-func main() {
-	app := flag.String("app", "matmul", "application: matmul, bitonic, barneshut")
-	strat := flag.String("strategy", "at4", "data management strategy: "+strings.Join(strategy.Names(), ", ")+", or handopt")
-	meshFlag := flag.String("mesh", "8x8", "mesh dimensions ROWSxCOLS")
-	topoFlag := flag.String("topology", "mesh", "network topology: "+strings.Join(topology.Names(), ", ")+" (size from -mesh)")
-	block := flag.Int("block", 1024, "matmul: block size in integers (perfect square)")
-	keys := flag.Int("keys", 4096, "bitonic: keys per processor")
-	bodies := flag.Int("bodies", 4000, "barneshut: number of bodies")
-	steps := flag.Int("steps", 7, "barneshut: time steps (last steps after -measure are measured)")
-	measure := flag.Int("measure", 2, "barneshut: first measured step")
-	compute := flag.Bool("compute", false, "charge local computation costs (matmul/bitonic)")
-	seed := flag.Uint64("seed", 1999, "random seed")
-	capacity := flag.Int("capacity", 0, "cache capacity per node in bytes (0 = unbounded)")
-	shards := flag.Int("shards", 0, "event-kernel shards for parallel execution (0 = $DIVA_SHARDS or 1; results are identical)")
-	verbose := flag.Bool("v", false, "print per-message-kind statistics")
-	heatmap := flag.Bool("heatmap", false, "print a per-link load heatmap (deciles of the busiest link)")
-	flag.Parse()
+// serveMain is the HTTP service mode: divasim serve [flags].
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("divasim serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 4, "concurrent simulation limit")
+	queue := fs.Int("queue", 0, "wait-queue length beyond the workers (0 = 2x workers); excess requests get 429")
+	cache := fs.Int("cache", 8, "machine snapshots kept warm (distinct machine descriptions)")
+	fs.Parse(args)
 
-	rows, cols, err := parseMesh(*meshFlag)
-	if err != nil {
+	srv := serve.New(serve.Options{Workers: *workers, Queue: *queue, SnapshotCache: *cache})
+	fmt.Printf("divasim: serving /v1/run, /v1/registries, /v1/healthz on %s (%d workers)\n", *addr, *workers)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fail(err)
 	}
+}
 
-	// "handopt" selects the hand-optimized message passing program of the
-	// application instead of a data management strategy; every other name
-	// resolves through the strategy registry.
-	handopt := *strat == "handopt"
-	opts := []diva.Option{
-		diva.WithTopologyName(*topoFlag, rows, cols),
-		diva.WithSeed(*seed),
-		diva.WithCacheCapacity(*capacity),
-		diva.WithShards(*shards),
+// runMain is the single-run mode: flags (or a -spec document) build one
+// diva.Spec and run it.
+func runMain(args []string) {
+	fs := flag.NewFlagSet("divasim", flag.ExitOnError)
+	app := fs.String("app", "matmul", "application: matmul, bitonic, barneshut, stencil")
+	strat := fs.String("strategy", "at4", "data management strategy (see -list), or handopt")
+	meshFlag := fs.String("mesh", "8x8", "mesh dimensions ROWSxCOLS")
+	topoFlag := fs.String("topology", "mesh", "network topology (see -list; size from -mesh)")
+	tree := fs.String("tree", "", "decomposition tree override: "+strings.Join(spec.TreeNames(), ", "))
+	block := fs.Int("block", 1024, "matmul: block size in integers (perfect square)")
+	keys := fs.Int("keys", 4096, "bitonic: keys per processor")
+	bodies := fs.Int("bodies", 4000, "barneshut: number of bodies")
+	steps := fs.Int("steps", 7, "barneshut: time steps (last steps after -measure are measured)")
+	measure := fs.Int("measure", 2, "barneshut: first measured step")
+	iters := fs.Int("iters", 4, "stencil: iterations")
+	halo := fs.Int("halo", 64, "stencil: halo size in integers")
+	compute := fs.Bool("compute", false, "charge local computation costs (matmul/bitonic/stencil)")
+	check := fs.Bool("check", false, "verify the output against a sequential reference (matmul/bitonic/stencil)")
+	seed := fs.Uint64("seed", 1999, "random seed")
+	capacity := fs.Int("capacity", 0, "cache capacity per node in bytes (0 = unbounded)")
+	shards := fs.Int("shards", 0, "event-kernel shards for parallel execution (0 = $DIVA_SHARDS or 1; results are identical)")
+	specFile := fs.String("spec", "", "run the spec JSON document from this file instead of the flags")
+	list := fs.Bool("list", false, "list the registered strategies, topologies and workloads, then exit")
+	verbose := fs.Bool("v", false, "print per-message-kind statistics")
+	heatmap := fs.Bool("heatmap", false, "print a per-link load heatmap (deciles of the busiest link)")
+	fs.Parse(args)
+
+	if *list {
+		printRegistries()
+		return
 	}
-	if handopt {
-		opts = append(opts, diva.WithTree(diva.Ary2))
+
+	var s diva.Spec
+	if *specFile != "" {
+		raw, err := os.ReadFile(*specFile)
+		if err != nil {
+			fail(err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&s); err != nil {
+			fail(fmt.Errorf("%s: %w", *specFile, err))
+		}
 	} else {
-		opts = append(opts, diva.WithStrategyName(*strat))
+		rows, cols, err := parseMesh(*meshFlag)
+		if err != nil {
+			fail(err)
+		}
+		// "handopt" selects the hand-optimized message passing variant of
+		// the application instead of a data management strategy.
+		workload := *app
+		strategy := *strat
+		if strategy == "handopt" || *app == "stencil" {
+			strategy = ""
+			if *app == "matmul" || *app == "bitonic" {
+				workload = *app + "-handopt"
+			}
+		}
+		// The flag's 0 means $DIVA_SHARDS, preserved here at the CLI
+		// boundary: a serialized Spec itself never reads the environment.
+		nshards := *shards
+		if nshards == 0 {
+			if v, err := strconv.Atoi(os.Getenv("DIVA_SHARDS")); err == nil && v > 0 {
+				nshards = v
+			}
+		}
+		s = diva.Spec{
+			Topology:      *topoFlag,
+			Rows:          rows,
+			Cols:          cols,
+			Strategy:      strategy,
+			Tree:          *tree,
+			Seed:          *seed,
+			Shards:        nshards,
+			CacheCapacity: *capacity,
+			Workload: diva.WorkloadSpec{
+				Name:        workload,
+				Block:       *block,
+				Keys:        *keys,
+				Bodies:      *bodies,
+				Steps:       *steps,
+				MeasureFrom: *measure,
+				Iters:       *iters,
+				Halo:        *halo,
+				Compute:     *compute,
+				Check:       *check,
+			},
+		}
 	}
-	m, err := diva.New(opts...)
+
+	m, w, err := diva.FromSpec(s)
 	if err != nil {
 		fail(err)
 	}
-
-	var w diva.Workload
-	switch *app {
-	case "matmul":
-		cfg := diva.MatmulConfig{BlockInts: *block, WithCompute: *compute, OpUS: 3.45, Seed: *seed}
-		if handopt {
-			w = diva.MatmulHandOpt(cfg)
-		} else {
-			w = diva.Matmul(cfg)
-		}
-	case "bitonic":
-		cfg := diva.BitonicConfig{KeysPerProc: *keys, WithCompute: *compute, CompareUS: 1.0, Seed: *seed}
-		if handopt {
-			w = diva.BitonicHandOpt(cfg)
-		} else {
-			w = diva.Bitonic(cfg)
-		}
-	case "barneshut":
-		if handopt {
-			fail(fmt.Errorf("barneshut has no hand-optimized strategy (see §3.3 of the paper)"))
-		}
-		w = diva.BarnesHut(diva.BarnesHutConfig{
-			N: *bodies, Steps: *steps, MeasureFrom: *measure,
-			Seed: *seed, WithCompute: true,
-		})
-	default:
-		fail(fmt.Errorf("unknown application %q", *app))
-	}
-
 	col := diva.NewCollector(m)
 	res, err := w.Run(m, col)
 	if err != nil {
@@ -127,14 +160,18 @@ func main() {
 	if m.Strat != nil {
 		name = m.Strat.Name()
 	}
-	fmt.Printf("application:  %s on %s\n", *app, m.Topo)
+	fmt.Printf("application:  %s on %s\n", w.Name(), m.Topo)
 	fmt.Printf("strategy:     %s\n", name)
 	fmt.Printf("elapsed:      %.1f ms (simulated)\n", res.ElapsedUS/1000)
+	fmt.Printf("fingerprint:  0x%016x (%d events)\n", m.K.Fingerprint(), m.K.Stat.Events)
 	c := m.Net.Congestion(nil)
 	fmt.Printf("congestion:   %d messages / %d bytes on the busiest link\n", c.MaxMsgs, c.MaxBytes)
 	fmt.Printf("total load:   %d messages / %d bytes\n", c.TotalMsgs, c.TotalBytes)
+	if res.Verified {
+		fmt.Printf("verified:     output matches the sequential reference\n")
+	}
 	if col.Enabled() {
-		fmt.Printf("\nmeasured steps (from step %d):\n", *measure)
+		fmt.Printf("\nmeasured steps (from step %d):\n", s.Normalized().Workload.MeasureFrom)
 		tot := col.Total()
 		fmt.Printf("  total: time %.1f ms, congestion %d msgs\n", tot.TimeUS/1000, tot.Cong.MaxMsgs)
 		for _, ph := range col.PhaseNames() {
@@ -144,7 +181,7 @@ func main() {
 		}
 	}
 	if ev := diva.TotalEvictions(m); ev > 0 {
-		fmt.Printf("replacements: %d copies evicted (capacity %d bytes/node)\n", ev, *capacity)
+		fmt.Printf("replacements: %d copies evicted (capacity %d bytes/node)\n", ev, s.CacheCapacity)
 	}
 	if *verbose {
 		msgs, bytes := m.Net.SendStats()
@@ -168,6 +205,44 @@ func main() {
 			fmt.Println(" ", l)
 		}
 	}
+}
+
+// printRegistries renders the -list output from the public registries.
+func printRegistries() {
+	fmt.Println("strategies:")
+	for _, e := range diva.Strategies() {
+		fmt.Printf("  %-10s %s\n", e.Name, e.Summary)
+	}
+	fmt.Println("  handopt    hand-optimized message passing (no data management strategy)")
+	fmt.Println("\ntopologies:")
+	for _, e := range diva.Topologies() {
+		fmt.Printf("  %-10s %s\n", e.Name, e.Summary)
+	}
+	fmt.Println("\nworkloads:")
+	for _, e := range diva.Workloads() {
+		fmt.Printf("  %-16s %s\n", e.Name, e.Summary)
+	}
+	fmt.Println("\ntrees:")
+	fmt.Printf("  %s\n", strings.Join(spec.TreeNames(), ", "))
+}
+
+func parseMesh(s string) (int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mesh %q: want ROWSxCOLS", s)
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if r <= 0 || c <= 0 {
+		return 0, 0, fmt.Errorf("mesh %q: dimensions must be positive", s)
+	}
+	return r, c, nil
 }
 
 func fail(err error) {

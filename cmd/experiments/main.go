@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 
 	"diva/experiments"
@@ -32,13 +31,8 @@ func main() {
 	shards := flag.Int("shards", 0, "event-kernel shards per machine (0 = $DIVA_SHARDS or 1; figures are identical)")
 	flag.Parse()
 
-	if *shards > 0 {
-		// The figure runners build their machines with the default shard
-		// count, which reads DIVA_SHARDS — the flag just sets it.
-		os.Setenv("DIVA_SHARDS", strconv.Itoa(*shards))
-	}
-
 	r := experiments.New(os.Stdout, *quick, *seed)
+	r.Shards = *shards
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
 	}

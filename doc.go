@@ -43,6 +43,28 @@
 // exposes the figure harness the same way. cmd/divasim and
 // cmd/experiments are thin CLIs over exactly this surface.
 //
+// # Specs, snapshot/fork and the service
+//
+// A run is serializable: diva/spec defines the JSON-friendly Spec naming
+// the machine (topology, strategy, tree, network timing, seed, shards,
+// cache capacity) and the workload with its knobs, with typed per-field
+// validation. FromSpec turns a Spec into a machine and a workload, so the
+// divasim command line, a -spec document, an embedder and the HTTP
+// service all describe the identical, bit-reproducible run.
+//
+// A quiescent machine (every process finished, no event pending) can be
+// captured with Machine.Snapshot and resumed any number of times with
+// Fork: fork-then-run is bit-identical — event-order fingerprint and all
+// simulated metrics — to continuing the source machine, and concurrent
+// forks share no mutable state. The canonical use is
+// simulation-as-a-service: run a warm-up workload once, snapshot, fork
+// per query. diva/serve wraps this as an HTTP server (divasim serve) with
+// POST /v1/run, GET /v1/registries and GET /v1/healthz, a bounded worker
+// pool and 429 load shedding; the same capture doubles as a checkpoint
+// for crash-consistent long runs. ForkSeed re-derives a fork's random
+// streams so independent scenario branches diverge from a shared warm
+// state.
+//
 // # The implementation
 //
 // The library lives under internal/ and is re-exported here by type

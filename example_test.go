@@ -99,3 +99,68 @@ func ExampleWorkload() {
 	// Output:
 	// bitonic sorted 1024 keys: verified=true
 }
+
+// ExampleFromSpec runs the serializable run description: one JSON-friendly
+// diva.Spec names the machine and the workload, and FromSpec builds both.
+// The divasim command line and the HTTP service funnel through the same
+// Spec, so this document describes the identical run everywhere.
+func ExampleFromSpec() {
+	s := diva.Spec{
+		Topology: "mesh", Rows: 4, Cols: 4,
+		Strategy: "at4", Seed: 7,
+		Workload: diva.WorkloadSpec{Name: "bitonic", Keys: 32, Check: true},
+	}
+	m, w, err := diva.FromSpec(s)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := w.Run(m, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s on %s with %s: verified=%v\n", w.Name(), m.Topo, m.Strat.Name(), res.Verified)
+	// Output:
+	// bitonic on 4x4 mesh with 4-ary access tree: verified=true
+}
+
+// ExampleFork snapshots a warmed-up machine and forks it per query: each
+// fork resumes exactly where the snapshot was taken, and fork-then-run is
+// bit-identical to continuing the source — the foundation of the
+// simulation service (divasim serve).
+func ExampleFork() {
+	m := diva.MustNew(
+		diva.WithMesh(4, 4),
+		diva.WithStrategyName("at2"),
+		diva.WithSeed(7),
+	)
+	warm := diva.Matmul(diva.MatmulConfig{BlockInts: 16, Seed: 1})
+	if _, err := warm.Run(m, nil); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	query := diva.Bitonic(diva.BitonicConfig{KeysPerProc: 8, Check: true, Seed: 2})
+	fps := make([]uint64, 2)
+	for i := range fps {
+		f, err := diva.Fork(snap)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if _, err := query.Run(f, nil); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fps[i] = f.K.Fingerprint()
+	}
+	fmt.Println("forks bit-identical:", fps[0] == fps[1])
+	// Output:
+	// forks bit-identical: true
+}

@@ -1,0 +1,158 @@
+package diva
+
+import (
+	"fmt"
+
+	"diva/spec"
+	"diva/strategy"
+	"diva/topology"
+)
+
+// The serializable run description, re-exported by alias: diva/spec is
+// pure data plus validation, this file turns a Spec into a machine and a
+// workload. The divasim command line, the HTTP service and embedders all
+// funnel through FromSpec, so one JSON document describes the same run
+// everywhere.
+type (
+	// Spec describes one simulation run (see diva/spec).
+	Spec = spec.Spec
+	// WorkloadSpec selects the application and its knobs inside a Spec.
+	WorkloadSpec = spec.Workload
+	// NetSpec is the serializable form of NetParams inside a Spec.
+	NetSpec = spec.Net
+)
+
+// treeByName maps spec tree names to the decomposition-tree variants; a
+// guard test pins it against spec.TreeNames().
+var treeByName = map[string]Tree{
+	Ary2.Name():    Ary2,
+	Ary4.Name():    Ary4,
+	Ary16.Name():   Ary16,
+	Ary2K4.Name():  Ary2K4,
+	Ary4K8.Name():  Ary4K8,
+	Ary4K16.Name(): Ary4K16,
+}
+
+// MachineFromSpec validates the machine half of s and builds the machine.
+// extra options (WithConcurrent for parallel sweeps, typically) are
+// applied after the spec-derived ones. The workload half is ignored, for
+// embedders that drive their own programs.
+func MachineFromSpec(s Spec, extra ...Option) (*Machine, error) {
+	if err := s.ValidateMachine(); err != nil {
+		return nil, err
+	}
+	n := s.Normalized()
+	shards := n.Shards
+	if shards == 0 {
+		// A serialized run description must not depend on the environment:
+		// spec shards 0 means sequential, never $DIVA_SHARDS.
+		shards = 1
+	}
+	opts := []Option{
+		WithTopologyName(n.Topology, n.Rows, n.Cols),
+		WithSeed(n.Seed),
+		WithCacheCapacity(n.CacheCapacity),
+		WithShards(shards),
+	}
+	if n.Strategy == "" {
+		opts = append(opts, WithTree(Ary2))
+	} else {
+		opts = append(opts, WithStrategyName(n.Strategy))
+	}
+	if n.Tree != "" {
+		opts = append(opts, WithTree(treeByName[n.Tree]))
+	}
+	if p := n.Net; p != nil {
+		opts = append(opts, WithNetParams(NetParams{
+			BytesPerUS:      p.BytesPerUS,
+			HopLatencyUS:    p.HopLatencyUS,
+			StartupSendUS:   p.StartupSendUS,
+			StartupRecvUS:   p.StartupRecvUS,
+			LocalDeliveryUS: p.LocalDeliveryUS,
+			NoBackpressure:  p.NoBackpressure,
+		}))
+	}
+	return New(append(opts, extra...)...)
+}
+
+// WorkloadFromSpec validates s and builds its workload with the
+// documented default cost knobs (matmul 3.45 µs per multiply-add, bitonic
+// 1.0 µs per comparison, stencil 0.5 µs per halo value).
+func WorkloadFromSpec(s Spec) (Workload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w := s.Normalized().Workload
+	switch w.Name {
+	case "matmul", "matmul-handopt":
+		cfg := MatmulConfig{BlockInts: w.Block, WithCompute: w.Compute, OpUS: 3.45, Check: w.Check, Seed: w.Seed}
+		if w.Name == "matmul-handopt" {
+			return MatmulHandOpt(cfg), nil
+		}
+		return Matmul(cfg), nil
+	case "bitonic", "bitonic-handopt":
+		cfg := BitonicConfig{KeysPerProc: w.Keys, WithCompute: w.Compute, CompareUS: 1.0, Check: w.Check, Seed: w.Seed}
+		if w.Name == "bitonic-handopt" {
+			return BitonicHandOpt(cfg), nil
+		}
+		return Bitonic(cfg), nil
+	case "barneshut":
+		return BarnesHut(BarnesHutConfig{
+			N: w.Bodies, Steps: w.Steps, MeasureFrom: w.MeasureFrom,
+			Seed: w.Seed, WithCompute: true,
+		}), nil
+	case "stencil":
+		return Stencil(StencilConfig{
+			Iters: w.Iters, HaloInts: w.Halo, WithCompute: w.Compute,
+			OpUS: 0.5, Check: w.Check, Seed: w.Seed,
+		}), nil
+	}
+	return nil, fmt.Errorf("diva: unknown workload %q", w.Name) // unreachable after Validate
+}
+
+// FromSpec validates s and builds both the machine and the workload:
+// the single entry point behind divasim, the HTTP service and embedders.
+// extra options are applied to the machine after the spec-derived ones.
+func FromSpec(s Spec, extra ...Option) (*Machine, Workload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	w, err := WorkloadFromSpec(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := MachineFromSpec(s, extra...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, w, nil
+}
+
+// RegistryEntry describes one registered strategy, topology or workload
+// for listings (divasim -list, the service's /v1/registries).
+type RegistryEntry = spec.Registered
+
+// Strategies lists the registered data management strategies.
+func Strategies() []RegistryEntry {
+	names := strategy.Names()
+	out := make([]RegistryEntry, len(names))
+	for i, n := range names {
+		s, _ := strategy.Get(n)
+		out[i] = RegistryEntry{Name: n, Summary: s.Summary}
+	}
+	return out
+}
+
+// Topologies lists the registered interconnect topologies.
+func Topologies() []RegistryEntry {
+	names := topology.Names()
+	out := make([]RegistryEntry, len(names))
+	for i, n := range names {
+		s, _ := topology.Get(n)
+		out[i] = RegistryEntry{Name: n, Summary: s.Summary}
+	}
+	return out
+}
+
+// Workloads lists the runnable workloads of the spec layer.
+func Workloads() []RegistryEntry { return spec.Workloads() }

@@ -1,0 +1,160 @@
+package accesstree
+
+import (
+	"fmt"
+
+	"diva/internal/core"
+	"diva/internal/sim"
+	"diva/internal/xrand"
+)
+
+// core.Forker implementation: deep-copy capture and restore of the access
+// tree strategy's state for machine snapshot/fork. Captured per variable:
+// the embedding (root position / ablation seed), the dense node table
+// (membership, directional pointers, edge bits, access counts), the lock
+// arrows and token position, and the remap overrides. The transaction
+// arena, the recycled node-table pool and the shared embedding tables are
+// deliberately not captured — arenas hold no live transactions at
+// quiescence, and the embedding tables are a pure function of the tree,
+// rebuilt lazily per fork.
+
+type snapState struct {
+	rng    xrand.State
+	remaps int
+	vars   []*varSnapState // indexed by VarID; nil for freed variables
+}
+
+type varSnapState struct {
+	rootPos     int
+	seed        uint64
+	creator     int
+	nodes       []nodeState
+	lock        *lockSnapState
+	posOverride map[int]int
+	remaps      int
+}
+
+// lockSnapState is a quiescent lock's persistent state: the arrows left by
+// path reversal and the leaf the free token rests at. Everything else
+// (queue, waiters, holder) must be empty/free at quiescence.
+type lockSnapState struct {
+	arrows  map[int]int32
+	tokenAt int
+}
+
+// SnapshotState implements core.Forker.
+func (s *strategy) SnapshotState(vars []*core.Variable) (interface{}, error) {
+	st := &snapState{rng: s.rng.State(), remaps: s.remaps, vars: make([]*varSnapState, len(vars))}
+	for i, v := range vars {
+		if v == nil {
+			continue
+		}
+		vs := vstate(v)
+		if len(vs.pending) > 0 {
+			return nil, fmt.Errorf("accesstree: variable %d has a pending invalidation", v.ID)
+		}
+		vsn := &varSnapState{
+			rootPos: vs.rootPos,
+			seed:    vs.seed,
+			creator: vs.creator,
+			nodes:   append([]nodeState(nil), vs.nodes...),
+			remaps:  vs.remaps,
+		}
+		if ls := vs.lock; ls != nil {
+			if ls.inFlight || len(ls.waiting) > 0 || ls.holder != -1 || len(ls.next) > 0 || !ls.tokenFree {
+				return nil, fmt.Errorf("accesstree: variable %d has lock activity in flight", v.ID)
+			}
+			lsn := &lockSnapState{tokenAt: ls.tokenAt, arrows: make(map[int]int32, len(ls.arrows))}
+			for k, a := range ls.arrows {
+				lsn.arrows[k] = a
+			}
+			vsn.lock = lsn
+		}
+		if vs.posOverride != nil {
+			vsn.posOverride = make(map[int]int, len(vs.posOverride))
+			for k, p := range vs.posOverride {
+				vsn.posOverride[k] = p
+			}
+		}
+		st.vars[i] = vsn
+	}
+	return st, nil
+}
+
+// RestoreState implements core.Forker.
+func (s *strategy) RestoreState(state interface{}, vars []*core.Variable) error {
+	st, ok := state.(*snapState)
+	if !ok {
+		return fmt.Errorf("accesstree: foreign snapshot state %T", state)
+	}
+	if len(st.vars) != len(vars) {
+		return fmt.Errorf("accesstree: snapshot has %d variables, machine has %d", len(st.vars), len(vars))
+	}
+	s.rng.SetState(st.rng)
+	s.remaps = st.remaps
+	for i, vsn := range st.vars {
+		if vsn == nil {
+			continue
+		}
+		v := vars[i]
+		if v == nil {
+			return fmt.Errorf("accesstree: snapshot has state for freed variable %d", i)
+		}
+		vs := &varState{
+			rootPos: vsn.rootPos,
+			seed:    vsn.seed,
+			creator: vsn.creator,
+			nodes:   append([]nodeState(nil), vsn.nodes...),
+			remaps:  vsn.remaps,
+		}
+		if !s.opts.RandomEmbedding {
+			vs.posTab = s.posTable(vs.rootPos)
+		}
+		if lsn := vsn.lock; lsn != nil {
+			ls := &lockState{
+				arrows:    make(map[int]int32, len(lsn.arrows)),
+				next:      make(map[int]int),
+				tokenAt:   lsn.tokenAt,
+				tokenFree: true,
+				waiting:   make(map[int]*sim.Future),
+				holder:    -1,
+			}
+			for k, a := range lsn.arrows {
+				ls.arrows[k] = a
+			}
+			vs.lock = ls
+		}
+		if vsn.posOverride != nil {
+			vs.posOverride = make(map[int]int, len(vsn.posOverride))
+			for k, p := range vsn.posOverride {
+				vs.posOverride[k] = p
+			}
+		}
+		v.State = vs
+	}
+	return nil
+}
+
+// RestoreCacheEntry implements core.Forker: re-registers one bounded-cache
+// entry (an atKey from the source machine) with a fresh eviction closure.
+func (s *strategy) RestoreCacheEntry(vars []*core.Variable, key interface{}) error {
+	k, ok := key.(atKey)
+	if !ok {
+		return fmt.Errorf("accesstree: foreign cache key %T", key)
+	}
+	if int(k.v) < 0 || int(k.v) >= len(vars) || vars[k.v] == nil {
+		return fmt.Errorf("accesstree: cache entry for unknown variable %d", k.v)
+	}
+	v := vars[k.v]
+	node, proc := k.node, s.procOf(vstate(v), k.node)
+	s.m.Cache(proc).InsertRestored(key, v.Size, func() bool {
+		return s.tryEvict(v, node, proc)
+	})
+	return nil
+}
+
+// Reseed implements core.Forker: the strategy's private stream is re-derived
+// from the fork seed, so future variable placements diverge between forks.
+func (s *strategy) Reseed(seed uint64) {
+	s.rng = xrand.New(seed ^ 0x1d8e4e27c47d124f)
+}

@@ -71,6 +71,24 @@ func (c *Cache) Insert(key interface{}, size int, evict func() bool) {
 	c.enforce()
 }
 
+// InsertRestored records an entry during snapshot restore: like Insert but
+// it never triggers replacement, so the captured entry set is reinstated
+// verbatim — even when it exceeds capacity (entries that refused eviction
+// can leave a source cache over capacity; the fork must start in exactly
+// that state, and its next real Insert enforces just as the source's would).
+func (c *Cache) InsertRestored(key interface{}, size int, evict func() bool) {
+	if !c.Bounded() {
+		return
+	}
+	c.init()
+	if _, ok := c.index[key]; ok {
+		return
+	}
+	e := c.lru.PushFront(&cacheEntry{key: key, size: size, evict: evict})
+	c.index[key] = e
+	c.bytes += size
+}
+
 // Touch marks the copy as recently used.
 func (c *Cache) Touch(key interface{}) {
 	if !c.Bounded() || c.index == nil {

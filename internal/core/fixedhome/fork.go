@@ -1,0 +1,102 @@
+package fixedhome
+
+import (
+	"fmt"
+	"sort"
+
+	"diva/internal/core"
+	"diva/internal/xrand"
+)
+
+// core.Forker implementation for the fixed home strategy. Captured per
+// variable: the home, the owner and the holder set. A quiescent lock has no
+// persistent state (free, empty queue), so locks only need the quiescence
+// check; the transaction arena holds no live records at quiescence.
+
+type snapState struct {
+	rng  xrand.State
+	vars []*varSnapState // indexed by VarID; nil for freed variables
+}
+
+type varSnapState struct {
+	home    int
+	owner   int
+	holders []int // sorted
+}
+
+// SnapshotState implements core.Forker.
+func (s *strategy) SnapshotState(vars []*core.Variable) (interface{}, error) {
+	st := &snapState{rng: s.rng.State(), vars: make([]*varSnapState, len(vars))}
+	for i, v := range vars {
+		if v == nil {
+			continue
+		}
+		vs := vstate(v)
+		if vs.pending != nil {
+			return nil, fmt.Errorf("fixedhome: variable %d has a write in flight", v.ID)
+		}
+		if ls := vs.lock; ls != nil && (ls.held || len(ls.queue) > 0 || len(ls.waiting) > 0) {
+			return nil, fmt.Errorf("fixedhome: variable %d has lock activity in flight", v.ID)
+		}
+		vsn := &varSnapState{home: vs.home, owner: vs.owner, holders: make([]int, 0, len(vs.holders))}
+		for h := range vs.holders {
+			vsn.holders = append(vsn.holders, h)
+		}
+		sort.Ints(vsn.holders)
+		st.vars[i] = vsn
+	}
+	return st, nil
+}
+
+// RestoreState implements core.Forker.
+func (s *strategy) RestoreState(state interface{}, vars []*core.Variable) error {
+	st, ok := state.(*snapState)
+	if !ok {
+		return fmt.Errorf("fixedhome: foreign snapshot state %T", state)
+	}
+	if len(st.vars) != len(vars) {
+		return fmt.Errorf("fixedhome: snapshot has %d variables, machine has %d", len(st.vars), len(vars))
+	}
+	s.rng.SetState(st.rng)
+	for i, vsn := range st.vars {
+		if vsn == nil {
+			continue
+		}
+		v := vars[i]
+		if v == nil {
+			return fmt.Errorf("fixedhome: snapshot has state for freed variable %d", i)
+		}
+		vs := &varState{
+			home:    vsn.home,
+			owner:   vsn.owner,
+			holders: make(map[int]struct{}, len(vsn.holders)),
+		}
+		for _, h := range vsn.holders {
+			vs.holders[h] = struct{}{}
+		}
+		v.State = vs
+	}
+	return nil
+}
+
+// RestoreCacheEntry implements core.Forker.
+func (s *strategy) RestoreCacheEntry(vars []*core.Variable, key interface{}) error {
+	k, ok := key.(fhKey)
+	if !ok {
+		return fmt.Errorf("fixedhome: foreign cache key %T", key)
+	}
+	if int(k.v) < 0 || int(k.v) >= len(vars) || vars[k.v] == nil {
+		return fmt.Errorf("fixedhome: cache entry for unknown variable %d", k.v)
+	}
+	v := vars[k.v]
+	proc := k.node
+	s.m.Cache(proc).InsertRestored(key, v.Size, func() bool {
+		return s.tryEvict(v, proc)
+	})
+	return nil
+}
+
+// Reseed implements core.Forker.
+func (s *strategy) Reseed(seed uint64) {
+	s.rng = xrand.New(seed ^ 0x632be59bd9b4e019)
+}

@@ -192,7 +192,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m := &Machine{
 		Topo: topo,
 		Cfg:  cfg,
-		RNG:  xrand.New(cfg.Seed ^ 0xd1b54a32d192ed03),
+		RNG:  xrand.New(cfg.Seed ^ seedSalt),
 	}
 	if shards > 1 {
 		m.cluster = sim.NewCluster(shards, lookahead)

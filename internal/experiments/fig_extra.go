@@ -32,6 +32,7 @@ func (r *Runner) AblationReplacement() error {
 			diva.WithTree(decomp.Ary2),
 			diva.WithStrategyName("at2"),
 			diva.WithCacheCapacity(capacity),
+			diva.WithShards(r.Shards),
 			diva.WithConcurrent(r.concurrent),
 		)
 		col := metrics.New(m.Net)
@@ -90,6 +91,7 @@ func (r *Runner) AblationRemap() error {
 			diva.WithSeed(r.Seed),
 			diva.WithTree(decomp.Ary4),
 			diva.WithStrategy(accesstree.FactoryOpts(mode.opts)),
+			diva.WithShards(r.Shards),
 			diva.WithConcurrent(r.concurrent),
 		)
 		col := metrics.New(m.Net)

@@ -142,6 +142,7 @@ func (r *Runner) AblationEmbedding() error {
 			diva.WithSeed(r.Seed),
 			diva.WithTree(decomp.Ary4),
 			diva.WithStrategy(accesstree.FactoryOpts(mode.opts)),
+			diva.WithShards(r.Shards),
 			diva.WithConcurrent(r.concurrent),
 		)
 		res, err := runMatmulOn(m, block, r.Seed)

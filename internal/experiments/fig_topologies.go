@@ -50,6 +50,7 @@ func (r *Runner) runTopoCell(topo mesh.Topology, s strategyUnderTest, n, steps i
 		diva.WithSeed(r.Seed),
 		diva.WithTree(s.spec),
 		diva.WithStrategy(s.fact),
+		diva.WithShards(r.Shards),
 		diva.WithConcurrent(concurrent),
 	)
 	if err != nil {

@@ -42,6 +42,10 @@ type Runner struct {
 	// per figure and emitted in figure order, so the bytes written to W
 	// are identical to a sequential run's.
 	Workers int
+	// Shards is the event-kernel shard count per machine, passed through
+	// to diva.WithShards (0 reads $DIVA_SHARDS; figures are identical for
+	// every count).
+	Shards int
 
 	// pool is the shared slot pool (created on first parallel use and
 	// inherited by worker clones); holding marks a clone whose figure
@@ -199,7 +203,7 @@ func (r *Runner) runParallel(names []string) error {
 			// rows.
 			sub := &Runner{
 				W: &results[i].buf, Quick: r.Quick, Seed: r.Seed,
-				Workers: r.Workers, pool: r.pool, holding: true,
+				Workers: r.Workers, Shards: r.Shards, pool: r.pool, holding: true,
 				concurrent: true, bhCache: r.bhCache,
 			}
 			results[i].err = sub.Run(f)
@@ -233,6 +237,7 @@ func (r *Runner) machineConc(rows, cols int, f core.Factory, spec decomp.Spec, c
 		diva.WithSeed(r.Seed),
 		diva.WithTree(spec),
 		diva.WithStrategy(f),
+		diva.WithShards(r.Shards),
 		diva.WithConcurrent(r.concurrent || concurrent),
 	)
 }

@@ -1,0 +1,132 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"diva/internal/sim"
+)
+
+// This file captures and restores a Network's mutable simulated state for
+// machine snapshot/fork. The capture is only legal at kernel quiescence —
+// no messages in flight, no processes blocked in Recv — which the machine
+// layer verifies before calling in here; the network-level checks below
+// are the defensive remainder (inbox waiters, deferred sends, an open
+// inline journal).
+//
+// Deliberately NOT captured, because a fork starting fresh is provably
+// indistinguishable: the Msg free lists (recycled messages are zeroed on
+// acquire, their identity never observable), the route memo (a pure
+// function of the topology, rebuilt lazily — and per fork, so concurrently
+// running forks never share the lazily-appended slab), and the per-shard
+// send counters (folded into the global counters here; SendStats only ever
+// reports the sum).
+
+// NetworkState is a deep copy of a Network's mutable simulated state. It is
+// immutable after capture; any number of forks can restore from one.
+type NetworkState struct {
+	links     []link
+	cpuFree   []sim.Time
+	computeUS []float64
+	sendMsgs  [256]uint64
+	sendBytes [256]uint64
+	inboxes   []inboxState
+}
+
+// inboxState is one node's queued inbox messages, per tag in ascending tag
+// order, each tag's queue in FIFO order. Msg values are copied (payloads
+// are shared by reference; the library-wide contract treats them as
+// immutable).
+type inboxState struct {
+	tags   []int
+	queues [][]Msg
+}
+
+// SnapshotState captures the network's state. It fails when state that
+// cannot be captured is live: processes blocked in Recv, deferred
+// cross-shard sends awaiting replay, or an open inline journal.
+func (nw *Network) SnapshotState() (*NetworkState, error) {
+	if nw.ilj.active {
+		return nil, fmt.Errorf("mesh: inline journal open")
+	}
+	for i := range nw.defSh {
+		if nw.defCur[i] != 0 || len(nw.defSh[i]) > 0 {
+			return nil, fmt.Errorf("mesh: shard %d has deferred sends awaiting replay", i)
+		}
+	}
+	st := &NetworkState{
+		links:     append([]link(nil), nw.links...),
+		cpuFree:   append([]sim.Time(nil), nw.cpuFree...),
+		computeUS: append([]float64(nil), nw.computeUS...),
+		sendMsgs:  nw.sendMsgs,
+		sendBytes: nw.sendBytes,
+		inboxes:   make([]inboxState, len(nw.inboxes)),
+	}
+	// Fold the per-shard counters of in-window node-local sends into the
+	// global arrays: SendStats reports the sum, so the split is invisible.
+	for i := range nw.statSh {
+		sh := &nw.statSh[i]
+		for k := range sh.msgs {
+			st.sendMsgs[k] += sh.msgs[k]
+			st.sendBytes[k] += sh.bytes[k]
+		}
+	}
+	for n := range nw.inboxes {
+		ib := &nw.inboxes[n]
+		for tag, ws := range ib.waiters {
+			if len(ws) > 0 {
+				return nil, fmt.Errorf("mesh: node %d has a process blocked in Recv(tag=%d)", n, tag)
+			}
+		}
+		is := &st.inboxes[n]
+		for tag, q := range ib.queues {
+			if len(q) > 0 {
+				is.tags = append(is.tags, tag)
+			}
+		}
+		sort.Ints(is.tags)
+		is.queues = make([][]Msg, len(is.tags))
+		for i, tag := range is.tags {
+			q := make([]Msg, len(ib.queues[tag]))
+			for j, m := range ib.queues[tag] {
+				q[j] = *m
+				q[j].pooled = false // inbox messages are never recycled
+			}
+			is.queues[i] = q
+		}
+	}
+	return st, nil
+}
+
+// RestoreState overwrites a freshly constructed network's state with a
+// captured one. The topology (link and node counts) must match.
+func (nw *Network) RestoreState(st *NetworkState) error {
+	if len(st.links) != len(nw.links) {
+		return fmt.Errorf("mesh: snapshot has %d links, network has %d", len(st.links), len(nw.links))
+	}
+	if len(st.cpuFree) != len(nw.cpuFree) {
+		return fmt.Errorf("mesh: snapshot has %d nodes, network has %d", len(st.cpuFree), len(nw.cpuFree))
+	}
+	copy(nw.links, st.links)
+	copy(nw.cpuFree, st.cpuFree)
+	copy(nw.computeUS, st.computeUS)
+	nw.sendMsgs = st.sendMsgs
+	nw.sendBytes = st.sendBytes
+	for n := range st.inboxes {
+		is := &st.inboxes[n]
+		if len(is.tags) == 0 {
+			continue
+		}
+		ib := &nw.inboxes[n]
+		ib.init()
+		for i, tag := range is.tags {
+			q := make([]*Msg, len(is.queues[i]))
+			for j := range is.queues[i] {
+				m := is.queues[i][j] // copy, so forks never share a Msg
+				q[j] = &m
+			}
+			ib.queues[tag] = q
+		}
+	}
+	return nil
+}

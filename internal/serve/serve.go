@@ -1,0 +1,330 @@
+// Package serve implements simulation-as-a-service: an HTTP server that
+// accepts serialized run descriptions (diva/spec documents) and answers
+// with simulated results and the event-order fingerprint.
+//
+// The server is built on machine snapshot/fork. Each distinct machine
+// description is constructed once, snapshotted at birth, and cached;
+// every request forks an independent machine from the snapshot and runs
+// its workload there. Forks share no mutable state, so concurrent queries
+// are safe, and fork determinism guarantees a request's result is
+// bit-identical however loaded the server is — the smoke tests pin
+// concurrent fingerprints against sequential ones.
+//
+// Admission control is a bounded worker pool plus a bounded wait queue:
+// at most Workers runs execute at once, at most Queue more wait, and
+// anything beyond that is rejected immediately with 429 — a saturated
+// simulation server must shed load, not accumulate unbounded arenas.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"diva"
+	"diva/spec"
+)
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// Workers bounds the simulations running concurrently (default 4).
+	Workers int
+	// Queue bounds the requests waiting for a worker beyond those running
+	// (default 2×Workers). Requests beyond Workers+Queue get 429.
+	Queue int
+	// SnapshotCache bounds the distinct machine descriptions whose birth
+	// snapshots are kept warm (default 8, least recently used eviction).
+	SnapshotCache int
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Queue <= 0 {
+		o.Queue = 2 * o.Workers
+	}
+	if o.SnapshotCache <= 0 {
+		o.SnapshotCache = 8
+	}
+}
+
+// Server handles the /v1 simulation API. Create with New, expose with
+// Handler.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	queued   atomic.Int64 // requests admitted and not yet finished
+	inflight atomic.Int64 // requests holding a worker
+	runs     atomic.Int64 // completed successfully
+	rejected atomic.Int64 // shed with 429
+
+	snaps snapCache
+
+	// gate, when set by a test, runs while holding a worker slot — it
+	// lets the saturation test pin the 429 path deterministically.
+	gate func()
+}
+
+// New returns a server with the given options.
+func New(o Options) *Server {
+	o.defaults()
+	s := &Server{opts: o, sem: make(chan struct{}, o.Workers)}
+	s.snaps.cap = o.SnapshotCache
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/registries", s.handleRegistries)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RunResponse is the /v1/run answer: the run's identity, the simulated
+// outcome and the event-order fingerprint. Two responses with equal
+// fingerprints executed the bit-identical event trajectory.
+type RunResponse struct {
+	Workload    string  `json:"workload"`
+	Topology    string  `json:"topology"`
+	Strategy    string  `json:"strategy"`
+	Shards      int     `json:"shards"`
+	Seed        uint64  `json:"seed"`
+	ElapsedUS   float64 `json:"elapsed_us"`
+	Fingerprint string  `json:"fingerprint"`
+	Events      uint64  `json:"events"`
+	Verified    bool    `json:"verified"`
+	Congestion  Cong    `json:"congestion"`
+	Evictions   uint64  `json:"evictions,omitempty"`
+}
+
+// Cong is the congestion summary of a run.
+type Cong struct {
+	MaxMsgs    uint64 `json:"max_msgs"`
+	MaxBytes   uint64 `json:"max_bytes"`
+	TotalMsgs  uint64 `json:"total_msgs"`
+	TotalBytes uint64 `json:"total_bytes"`
+}
+
+// errorResponse is every non-200 body: a message, plus the per-field
+// breakdown for validation failures.
+type errorResponse struct {
+	Error  string            `json:"error"`
+	Fields []spec.FieldError `json:"fields,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a spec document", nil)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var sp spec.Spec
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed spec: "+err.Error(), nil)
+		return
+	}
+	if err := sp.Validate(); err != nil {
+		var fields []spec.FieldError
+		if ve, ok := err.(*spec.ValidationError); ok {
+			fields = ve.Fields
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), fields)
+		return
+	}
+
+	// Admission: at most Workers running plus Queue waiting; shed beyond.
+	if s.queued.Add(1) > int64(s.opts.Workers+s.opts.Queue) {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server saturated: try again later", nil)
+		return
+	}
+	defer s.queued.Add(-1)
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.gate != nil {
+		s.gate()
+	}
+
+	resp, status, err := s.run(sp)
+	if err != nil {
+		writeError(w, status, err.Error(), nil)
+		return
+	}
+	s.runs.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// run executes one validated spec on a fork of the cached base machine.
+func (s *Server) run(sp spec.Spec) (*RunResponse, int, error) {
+	n := sp.Normalized()
+	snap, err := s.snaps.get(n)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	m, err := diva.Fork(snap, diva.ForkConcurrent(true))
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	wl, err := diva.WorkloadFromSpec(n)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	res, err := wl.Run(m, nil)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, fmt.Errorf("run failed: %w", err)
+	}
+	c := m.Net.Congestion(nil)
+	stratName := n.Strategy
+	if stratName == "" {
+		stratName = "handopt"
+	}
+	return &RunResponse{
+		Workload:    wl.Name(),
+		Topology:    n.Topology,
+		Strategy:    stratName,
+		Shards:      m.Shards(),
+		Seed:        n.Seed,
+		ElapsedUS:   res.ElapsedUS,
+		Fingerprint: fmt.Sprintf("0x%016x", m.K.Fingerprint()),
+		Events:      m.K.Stat.Events,
+		Verified:    res.Verified,
+		Congestion: Cong{
+			MaxMsgs: c.MaxMsgs, MaxBytes: c.MaxBytes,
+			TotalMsgs: c.TotalMsgs, TotalBytes: c.TotalBytes,
+		},
+		Evictions: diva.TotalEvictions(m),
+	}, 0, nil
+}
+
+// registriesResponse lists every registered name the spec layer accepts.
+type registriesResponse struct {
+	Strategies []diva.RegistryEntry `json:"strategies"`
+	Topologies []diva.RegistryEntry `json:"topologies"`
+	Workloads  []diva.RegistryEntry `json:"workloads"`
+	Trees      []string             `json:"trees"`
+}
+
+func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, registriesResponse{
+		Strategies: diva.Strategies(),
+		Topologies: diva.Topologies(),
+		Workloads:  diva.Workloads(),
+		Trees:      spec.TreeNames(),
+	})
+}
+
+// healthzResponse reports liveness and the admission counters.
+type healthzResponse struct {
+	Status    string `json:"status"`
+	Runs      int64  `json:"runs"`
+	Inflight  int64  `json:"inflight"`
+	Queued    int64  `json:"queued"`
+	Rejected  int64  `json:"rejected"`
+	Snapshots int    `json:"snapshots"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:    "ok",
+		Runs:      s.runs.Load(),
+		Inflight:  s.inflight.Load(),
+		Queued:    s.queued.Load(),
+		Rejected:  s.rejected.Load(),
+		Snapshots: s.snaps.len(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, fields []spec.FieldError) {
+	writeJSON(w, status, errorResponse{Error: msg, Fields: fields})
+}
+
+// snapCache caches birth snapshots of base machines, one per distinct
+// machine description, with least-recently-used eviction. A base machine
+// is built once, snapshotted before any process runs, and every request
+// forks from the snapshot — construction cost is amortized across
+// requests, and forks give per-request isolation.
+type snapCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*snapEntry
+	order []string // least recently used first
+}
+
+type snapEntry struct {
+	once sync.Once
+	snap *diva.Snapshot
+	err  error
+}
+
+// get returns the snapshot for the machine half of a normalized spec,
+// building the base machine on first use. Concurrent requests for the
+// same machine build it once (sync.Once); requests for different
+// machines build in parallel.
+func (c *snapCache) get(n spec.Spec) (*diva.Snapshot, error) {
+	// The cache key is the canonical JSON of the machine fields only:
+	// specs differing just in workload share one base machine.
+	n.Workload = spec.Workload{}
+	key, err := json.Marshal(n)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*snapEntry)
+	}
+	e, ok := c.m[string(key)]
+	if ok {
+		c.touch(string(key))
+	} else {
+		e = &snapEntry{}
+		c.m[string(key)] = e
+		c.order = append(c.order, string(key))
+		for len(c.order) > c.cap {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		var m *diva.Machine
+		m, e.err = diva.MachineFromSpec(n, diva.WithConcurrent(true))
+		if e.err != nil {
+			return
+		}
+		e.snap, e.err = m.Snapshot()
+	})
+	return e.snap, e.err
+}
+
+func (c *snapCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+func (c *snapCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"diva/spec"
+)
+
+// post sends one spec document and decodes the response.
+func post(t *testing.T, ts *httptest.Server, doc string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func runDoc(seed uint64) string {
+	return fmt.Sprintf(`{"rows":4,"cols":4,"strategy":"at4","seed":%d,
+		"workload":{"name":"bitonic","keys":8,"check":true}}`, seed)
+}
+
+// TestRunEndpoint pins the happy path: a valid spec returns the simulated
+// result with a fingerprint.
+func TestRunEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, runDoc(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Workload != "bitonic" || rr.Strategy != "at4" || rr.Topology != "mesh" {
+		t.Errorf("identity fields wrong: %+v", rr)
+	}
+	if rr.ElapsedUS <= 0 || rr.Events == 0 {
+		t.Errorf("no simulated outcome: %+v", rr)
+	}
+	if len(rr.Fingerprint) != 18 || rr.Fingerprint[:2] != "0x" || rr.Fingerprint == "0x0000000000000000" {
+		t.Errorf("bad fingerprint %q", rr.Fingerprint)
+	}
+	if !rr.Verified {
+		t.Errorf("check requested but not verified: %+v", rr)
+	}
+}
+
+// TestConcurrentMatchesSequential is the service determinism contract: 64
+// concurrent queries return per-query fingerprints identical to the same
+// queries run sequentially.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	const clients = 64
+	ts := httptest.NewServer(New(Options{Workers: 8, Queue: clients}).Handler())
+	defer ts.Close()
+
+	// Sequential baseline: one response per distinct seed.
+	seqFP := make(map[uint64]string)
+	for seed := uint64(1); seed <= 8; seed++ {
+		resp, body := post(t, ts, runDoc(seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, body)
+		}
+		var rr RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		seqFP[seed] = rr.Fingerprint
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		seed := uint64(1 + i%8)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+				bytes.NewReader([]byte(runDoc(seed))))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var rr RunResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("seed %d: status %d", seed, resp.StatusCode)
+				return
+			}
+			if rr.Fingerprint != seqFP[seed] {
+				errs <- fmt.Errorf("seed %d: concurrent fingerprint %s != sequential %s",
+					seed, rr.Fingerprint, seqFP[seed])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSaturation429 pins the admission control: with one worker and a
+// queue of one, a third concurrent request is shed with 429.
+func TestSaturation429(t *testing.T) {
+	srv := New(Options{Workers: 1, Queue: 1})
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	srv.gate = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, 2)
+	fire := func() {
+		go func() {
+			resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+				bytes.NewReader([]byte(runDoc(1))))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			resp.Body.Close()
+			results <- result{status: resp.StatusCode}
+		}()
+	}
+	fire()
+	<-entered // request 1 holds the only worker
+	fire()    // request 2 waits in the queue
+
+	// Wait until request 2 is actually admitted (healthz bypasses the
+	// admission gate, so it answers while the worker is held). Then a
+	// third request deterministically exceeds Workers+Queue.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz struct {
+			Queued int64 `json:"queued"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if hz.Queued >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request 2 never queued (queued=%d)", hz.Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	third, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		bytes.NewReader([]byte(runDoc(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request 3: status %d, want 429", third.StatusCode)
+	}
+	third.Body.Close()
+
+	close(hold) // release requests 1 and 2
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Errorf("held request finished with status %d", r.status)
+		}
+	}
+
+	// The shed request must show up in the health counters.
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Status   string `json:"status"`
+		Runs     int64  `json:"runs"`
+		Rejected int64  `json:"rejected"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Runs != 2 || hz.Rejected != 1 {
+		t.Errorf("healthz %+v, want status ok, 2 runs, 1 rejected", hz)
+	}
+}
+
+// TestValidationErrors pins the 400 surface: unknown fields and invalid
+// specs are rejected with the per-field breakdown.
+func TestValidationErrors(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, `{"workload":{"name":"matmul"},"bogus":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = post(t, ts, `{"workload":{"name":"matmul"},"topology":"ring"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d: %s", resp.StatusCode, body)
+	}
+	var er struct {
+		Error  string            `json:"error"`
+		Fields []spec.FieldError `json:"fields"`
+	}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string]bool{}
+	for _, f := range er.Fields {
+		fields[f.Field] = true
+	}
+	if !fields["topology"] || !fields["strategy"] {
+		t.Errorf("field breakdown missing topology/strategy: %+v", er.Fields)
+	}
+
+	if resp, body = post(t, ts, `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d: %s", resp.StatusCode, body)
+	}
+
+	getResp, err := ts.Client().Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestRegistriesEndpoint pins the introspection surface.
+func TestRegistriesEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/registries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reg struct {
+		Strategies []spec.Registered `json:"strategies"`
+		Topologies []spec.Registered `json:"topologies"`
+		Workloads  []spec.Registered `json:"workloads"`
+		Trees      []string          `json:"trees"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Strategies) == 0 || len(reg.Topologies) != 4 ||
+		len(reg.Workloads) != 6 || len(reg.Trees) != 6 {
+		t.Errorf("registries incomplete: %d strategies, %d topologies, %d workloads, %d trees",
+			len(reg.Strategies), len(reg.Topologies), len(reg.Workloads), len(reg.Trees))
+	}
+}
+
+// TestSnapshotCacheSharing pins that specs differing only in workload
+// share one base machine snapshot.
+func TestSnapshotCacheSharing(t *testing.T) {
+	srv := New(Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	docs := []string{
+		`{"rows":4,"cols":4,"strategy":"at4","seed":1,"workload":{"name":"bitonic","keys":8}}`,
+		`{"rows":4,"cols":4,"strategy":"at4","seed":1,"workload":{"name":"matmul","block":16}}`,
+		`{"rows":4,"cols":4,"strategy":"fixedhome","seed":1,"workload":{"name":"matmul","block":16}}`,
+	}
+	for _, doc := range docs {
+		if resp, body := post(t, ts, doc); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if n := srv.snaps.len(); n != 2 {
+		t.Errorf("snapshot cache holds %d machines, want 2 (workloads share)", n)
+	}
+}

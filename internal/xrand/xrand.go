@@ -44,6 +44,20 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// State is the full internal state of an RNG, exposed so a machine snapshot
+// can capture a stream mid-sequence and a fork can resume it exactly.
+type State [4]uint64
+
+// State returns the generator's current internal state.
+func (r *RNG) State() State { return r.s }
+
+// SetState overwrites the generator's internal state. Restoring a state
+// obtained from State resumes the stream at exactly the same point.
+func (r *RNG) SetState(s State) { r.s = s }
+
+// FromState constructs a generator resuming from a captured state.
+func FromState(s State) *RNG { return &RNG{s: s} }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

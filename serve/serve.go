@@ -1,0 +1,35 @@
+// Package serve is the public façade over the simulation service: an HTTP
+// server answering serialized run descriptions (diva/spec documents) with
+// simulated results and event-order fingerprints. divasim's serve mode and
+// embedders drive it identically:
+//
+//	srv := serve.New(serve.Options{Workers: 4})
+//	log.Fatal(http.ListenAndServe(":8080", srv.Handler()))
+//
+// Endpoints: POST /v1/run (Spec in, result + fingerprint out),
+// GET /v1/registries (registered strategies, topologies, workloads,
+// trees), GET /v1/healthz (liveness and admission counters).
+//
+// Every request runs on an independent fork of a cached, snapshotted base
+// machine, so concurrent queries return bit-identical results to
+// sequential ones; beyond the worker pool and wait queue the server sheds
+// load with 429.
+package serve
+
+import iserve "diva/internal/serve"
+
+// Server handles the /v1 simulation API.
+type Server = iserve.Server
+
+// Options configures a Server; zero values select the defaults
+// (4 workers, a wait queue of 2×workers, 8 cached machine snapshots).
+type Options = iserve.Options
+
+// RunResponse is the /v1/run answer.
+type RunResponse = iserve.RunResponse
+
+// Cong is the congestion summary inside a RunResponse.
+type Cong = iserve.Cong
+
+// New returns a server with the given options.
+func New(o Options) *Server { return iserve.New(o) }

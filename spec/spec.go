@@ -1,0 +1,337 @@
+// Package spec defines the serializable run description of the diva
+// simulator: one JSON-friendly Spec names the machine (topology, strategy,
+// decomposition tree, network timing, seed, shards, cache capacity) and
+// the workload with its knobs. It is the single funnel every run
+// description flows through — the divasim command line, embedding
+// applications, and the HTTP service all build the same Spec and hand it
+// to diva.FromSpec.
+//
+// The package is pure data plus validation: it imports only the public
+// registries (diva/strategy, diva/topology), so it can be vendored into
+// clients that never link the simulator itself.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"diva/strategy"
+	"diva/topology"
+)
+
+// Spec describes one simulation run: the machine and the workload. The
+// zero value of every field selects the documented default, so a minimal
+// JSON document like {"workload":{"name":"matmul"}} is a complete run
+// description.
+type Spec struct {
+	// Topology is the interconnect's registry name (see diva/topology).
+	// Empty means "mesh".
+	Topology string `json:"topology,omitempty"`
+	// Rows, Cols are the machine dimensions. Both zero means 8×8.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Strategy is the data management strategy's registry name (see
+	// diva/strategy). Empty or "handopt" builds a machine without shared
+	// variables, for the hand-optimized message passing workloads.
+	Strategy string `json:"strategy,omitempty"`
+	// Tree overrides the decomposition-tree variant by the paper's name:
+	// "2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary" or "4-16-ary".
+	// Empty keeps the strategy's registered default ("2-ary" for
+	// hand-optimized machines).
+	Tree string `json:"tree,omitempty"`
+	// Seed is the master random seed. Identical specs give bit-identical
+	// runs.
+	Seed uint64 `json:"seed,omitempty"`
+	// Shards is the event-kernel shard count for conservative-parallel
+	// execution; results are identical for every count. 0 means
+	// sequential (unlike diva.WithShards, a Spec never reads the
+	// environment: a serialized run description must not depend on it).
+	Shards int `json:"shards,omitempty"`
+	// CacheCapacity bounds the copy memory per node in bytes; 0 means
+	// unbounded (the paper's default).
+	CacheCapacity int `json:"cache_capacity,omitempty"`
+	// Net overrides the network timing; nil means the GCel calibration.
+	Net *Net `json:"net,omitempty"`
+	// Workload selects the application and its knobs.
+	Workload Workload `json:"workload"`
+}
+
+// Net is the serializable form of diva.NetParams. A nil Net in a Spec
+// means the GCel calibration; a non-nil Net is used verbatim (all fields,
+// including zeros).
+type Net struct {
+	BytesPerUS      float64 `json:"bytes_per_us"`
+	HopLatencyUS    float64 `json:"hop_latency_us"`
+	StartupSendUS   float64 `json:"startup_send_us"`
+	StartupRecvUS   float64 `json:"startup_recv_us"`
+	LocalDeliveryUS float64 `json:"local_delivery_us"`
+	NoBackpressure  bool    `json:"no_backpressure,omitempty"`
+}
+
+// Workload selects the application by name plus its knobs. Knobs that do
+// not apply to the named workload are ignored; zero values select the
+// documented defaults.
+type Workload struct {
+	// Name is one of WorkloadNames(): "matmul", "bitonic", "barneshut",
+	// "matmul-handopt", "bitonic-handopt" or "stencil".
+	Name string `json:"name"`
+	// Block is matmul's block size in integers (perfect square;
+	// default 1024).
+	Block int `json:"block,omitempty"`
+	// Keys is bitonic's keys per processor (default 4096).
+	Keys int `json:"keys,omitempty"`
+	// Bodies is barneshut's body count (default 4000).
+	Bodies int `json:"bodies,omitempty"`
+	// Steps is barneshut's time steps (default 7).
+	Steps int `json:"steps,omitempty"`
+	// MeasureFrom is barneshut's first measured step (default 2).
+	MeasureFrom int `json:"measure_from,omitempty"`
+	// Iters is stencil's iteration count (default 4).
+	Iters int `json:"iters,omitempty"`
+	// Halo is stencil's halo size in integers (default 64).
+	Halo int `json:"halo,omitempty"`
+	// Compute charges local computation costs (matmul, bitonic, stencil;
+	// barneshut always computes).
+	Compute bool `json:"compute,omitempty"`
+	// Check verifies the workload's output against a sequential reference
+	// (matmul, bitonic, stencil); the Result reports Verified.
+	Check bool `json:"check,omitempty"`
+	// Seed is the workload's own random seed; 0 inherits the Spec seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Registered describes one registered name for listings (-list, the
+// service's /v1/registries).
+type Registered struct {
+	Name    string `json:"name"`
+	Summary string `json:"summary"`
+}
+
+// workloads is the workload registry: every diva workload builder, with
+// the hand-optimized variants marked — they need a strategy-free machine.
+var workloads = []Registered{
+	{Name: "matmul", Summary: "blocked matrix square through the data management strategy (§3.1)"},
+	{Name: "matmul-handopt", Summary: "matrix square, hand-optimized message passing (needs strategy \"handopt\" and a 2D mesh)"},
+	{Name: "bitonic", Summary: "bitonic sorting through the data management strategy (§3.2)"},
+	{Name: "bitonic-handopt", Summary: "bitonic sorting, hand-optimized message passing (needs strategy \"handopt\")"},
+	{Name: "barneshut", Summary: "SPLASH-2 derived N-body simulation with per-phase metrics (§3.3)"},
+	{Name: "stencil", Summary: "iterative halo exchange, hand-optimized message passing (needs strategy \"handopt\")"},
+}
+
+// handopt marks the workloads that run without a data management strategy.
+var handopt = map[string]bool{"matmul-handopt": true, "bitonic-handopt": true, "stencil": true}
+
+// Workloads lists the registered workloads for help texts and the service
+// registry endpoint.
+func Workloads() []Registered {
+	return append([]Registered(nil), workloads...)
+}
+
+// WorkloadNames lists the registered workload names in registration order.
+func WorkloadNames() []string {
+	names := make([]string, len(workloads))
+	for i, w := range workloads {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// TreeNames lists the decomposition-tree variant names Spec.Tree accepts,
+// in the paper's order.
+func TreeNames() []string {
+	return []string{"2-ary", "4-ary", "16-ary", "2-4-ary", "4-8-ary", "4-16-ary"}
+}
+
+// HandOptimized reports whether the named workload runs without a data
+// management strategy (Spec.Strategy must be empty or "handopt").
+func HandOptimized(name string) bool { return handopt[name] }
+
+// FieldError is one invalid Spec field. Field is the JSON path of the
+// offending field ("workload.name", "topology", ...).
+type FieldError struct {
+	Field string `json:"field"`
+	Msg   string `json:"msg"`
+}
+
+func (e FieldError) Error() string { return e.Field + ": " + e.Msg }
+
+// ValidationError aggregates every invalid field of a Spec, so a caller
+// (the service's 400 response, the CLI) can report them all at once.
+type ValidationError struct {
+	Fields []FieldError `json:"fields"`
+}
+
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return "invalid spec: " + strings.Join(msgs, "; ")
+}
+
+// Normalized returns a copy with every defaultable zero field filled in:
+// the canonical form of the run description. Validate, the CLI, the
+// service and diva.FromSpec all operate on the normalized form, so two
+// specs that normalize equally describe the same run.
+func (s Spec) Normalized() Spec {
+	n := s
+	if n.Topology == "" {
+		n.Topology = "mesh"
+	}
+	if n.Rows == 0 && n.Cols == 0 {
+		n.Rows, n.Cols = 8, 8
+	}
+	if n.Strategy == "handopt" {
+		n.Strategy = ""
+	}
+	w := &n.Workload
+	if w.Seed == 0 {
+		w.Seed = n.Seed
+	}
+	if w.Block == 0 {
+		w.Block = 1024
+	}
+	if w.Keys == 0 {
+		w.Keys = 4096
+	}
+	if w.Bodies == 0 {
+		w.Bodies = 4000
+	}
+	if w.Steps == 0 {
+		w.Steps = 7
+	}
+	if w.MeasureFrom == 0 {
+		w.MeasureFrom = 2
+	}
+	if w.Iters == 0 {
+		w.Iters = 4
+	}
+	if w.Halo == 0 {
+		w.Halo = 64
+	}
+	return n
+}
+
+// Validate checks the spec and returns nil or a *ValidationError listing
+// every offending field. It validates the normalized form, so zero values
+// that have defaults never fail.
+func (s Spec) Validate() error {
+	n := s.Normalized()
+	var errs []FieldError
+	errs = append(errs, n.machineErrors()...)
+	errs = append(errs, n.workloadErrors()...)
+	if len(errs) > 0 {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// ValidateMachine checks only the machine-describing fields, ignoring the
+// workload — for embedders that build the machine from a Spec but drive
+// their own programs.
+func (s Spec) ValidateMachine() error {
+	if errs := s.Normalized().machineErrors(); len(errs) > 0 {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// machineErrors validates the machine fields of a normalized spec.
+func (s Spec) machineErrors() []FieldError {
+	var errs []FieldError
+	if !knownName(topology.Names(), s.Topology) {
+		errs = append(errs, FieldError{"topology",
+			fmt.Sprintf("unknown topology %q (have %s)", s.Topology, strings.Join(topology.Names(), ", "))})
+	}
+	if s.Rows <= 0 {
+		errs = append(errs, FieldError{"rows", fmt.Sprintf("must be positive, got %d", s.Rows)})
+	}
+	if s.Cols <= 0 {
+		errs = append(errs, FieldError{"cols", fmt.Sprintf("must be positive, got %d", s.Cols)})
+	}
+	if s.Strategy != "" && !knownName(strategy.Names(), s.Strategy) {
+		errs = append(errs, FieldError{"strategy",
+			fmt.Sprintf("unknown strategy %q (have %s, or \"handopt\")", s.Strategy, strings.Join(strategy.Names(), ", "))})
+	}
+	if s.Tree != "" && !knownName(TreeNames(), s.Tree) {
+		errs = append(errs, FieldError{"tree",
+			fmt.Sprintf("unknown tree %q (have %s)", s.Tree, strings.Join(TreeNames(), ", "))})
+	}
+	if s.Shards < 0 {
+		errs = append(errs, FieldError{"shards", fmt.Sprintf("must be non-negative, got %d", s.Shards)})
+	}
+	if s.CacheCapacity < 0 {
+		errs = append(errs, FieldError{"cache_capacity", fmt.Sprintf("must be non-negative, got %d", s.CacheCapacity)})
+	}
+	if p := s.Net; p != nil {
+		if p.BytesPerUS <= 0 {
+			errs = append(errs, FieldError{"net.bytes_per_us", "must be positive"})
+		}
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"net.hop_latency_us", p.HopLatencyUS},
+			{"net.startup_send_us", p.StartupSendUS},
+			{"net.startup_recv_us", p.StartupRecvUS},
+			{"net.local_delivery_us", p.LocalDeliveryUS},
+		} {
+			if f.v < 0 {
+				errs = append(errs, FieldError{f.name, "must be non-negative"})
+			}
+		}
+	}
+	return errs
+}
+
+// workloadErrors validates the workload fields of a normalized spec,
+// including the cross rules tying workloads to strategies.
+func (s Spec) workloadErrors() []FieldError {
+	var errs []FieldError
+	w := s.Workload
+	if w.Name == "" {
+		return append(errs, FieldError{"workload.name", "required (have " + strings.Join(WorkloadNames(), ", ") + ")"})
+	}
+	if !knownName(WorkloadNames(), w.Name) {
+		return append(errs, FieldError{"workload.name",
+			fmt.Sprintf("unknown workload %q (have %s)", w.Name, strings.Join(WorkloadNames(), ", "))})
+	}
+	if HandOptimized(w.Name) {
+		if s.Strategy != "" {
+			errs = append(errs, FieldError{"strategy",
+				fmt.Sprintf("workload %q is hand-optimized message passing; strategy must be empty or \"handopt\", got %q", w.Name, s.Strategy)})
+		}
+	} else if s.Strategy == "" {
+		errs = append(errs, FieldError{"strategy",
+			fmt.Sprintf("workload %q needs a data management strategy (have %s)", w.Name, strings.Join(strategy.Names(), ", "))})
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"workload.block", w.Block},
+		{"workload.keys", w.Keys},
+		{"workload.bodies", w.Bodies},
+		{"workload.steps", w.Steps},
+		{"workload.iters", w.Iters},
+		{"workload.halo", w.Halo},
+	} {
+		if f.v <= 0 {
+			errs = append(errs, FieldError{f.name, fmt.Sprintf("must be positive, got %d", f.v)})
+		}
+	}
+	if w.MeasureFrom < 0 || w.MeasureFrom >= w.Steps {
+		errs = append(errs, FieldError{"workload.measure_from",
+			fmt.Sprintf("must be in [0, steps), got %d with %d steps", w.MeasureFrom, w.Steps)})
+	}
+	return errs
+}
+
+func knownName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
