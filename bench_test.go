@@ -229,6 +229,63 @@ func BenchmarkFigTopologiesFatTreeAccessTree4(b *testing.B) {
 	benchTopoBarnesHut(b, mesh.NewFatTree(4))
 }
 
+// --- Graph routing and fault re-routing ---
+
+// benchGraphRoute measures a full pooled send-route-deliver cycle between
+// two diameter-distant nodes of a 64-node random-regular graph. The
+// healthy variant exercises the precomputed BFS route tables; the rerouted
+// variant takes the first link of that route down for the whole run, so
+// every delivery pays the fault-sync and routes over the live spanning
+// forest instead — the slow path every faulty simulation hits.
+func benchGraphRoute(b *testing.B, faulty bool) {
+	g, err := mesh.NewRandomRegular(64, 4, 1999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, dst := 0, 1
+	for v := range g.N() {
+		if g.Dist(src, v) > g.Dist(src, dst) {
+			dst = v
+		}
+	}
+	k := sim.New()
+	nw := mesh.NewNetwork(k, g, mesh.GCelParams())
+	if faulty {
+		ends := make(map[int]int, g.NumLinks())
+		g.ForEachLink(func(link, from, to int) { ends[link] = to })
+		first := ends[g.AppendRoute(nil, src, dst)[0]]
+		err := nw.InstallFaults(mesh.FaultSchedule{
+			{AtUS: 0, Kind: mesh.FaultLinkDown, A: src, B: first},
+			{AtUS: 1e15, Kind: mesh.FaultLinkUp, A: src, B: first},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := 0
+	const kind = 7
+	nw.Handle(kind, func(m *mesh.Msg) {
+		n++
+		if n < b.N {
+			nw.SendPooled(m.Dst, m.Src, 64, kind, nil)
+		}
+	})
+	nw.SendPooled(src, dst, 64, kind, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(g.Dist(src, dst)), "healthy-hops")
+	if faulty {
+		st := nw.FaultStats()
+		b.ReportMetric(float64(st.ReroutedHops)/float64(st.Rerouted), "rerouted-hops")
+	}
+}
+
+func BenchmarkGraphRouteHealthy(b *testing.B)  { benchGraphRoute(b, false) }
+func BenchmarkGraphRouteRerouted(b *testing.B) { benchGraphRoute(b, true) }
+
 // --- Figure 11: Barnes-Hut scaling with N = 200·P ---
 
 func BenchmarkFig11BarnesHutScale8x16AccessTree4K8(b *testing.B) {

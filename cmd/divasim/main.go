@@ -167,6 +167,11 @@ func runMain(args []string) {
 	c := m.Net.Congestion(nil)
 	fmt.Printf("congestion:   %d messages / %d bytes on the busiest link\n", c.MaxMsgs, c.MaxBytes)
 	fmt.Printf("total load:   %d messages / %d bytes\n", c.TotalMsgs, c.TotalBytes)
+	if sched := m.Net.FaultSchedule(); len(sched) > 0 {
+		st := m.Net.FaultStats()
+		fmt.Printf("faults:       %d events; availability %.0f%%, stretch %.2f, %d msgs re-routed, %d retry bytes\n",
+			len(sched), 100*st.Availability(), st.Stretch(), st.Rerouted, st.RetryBytes)
+	}
 	if res.Verified {
 		fmt.Printf("verified:     output matches the sequential reference\n")
 	}
@@ -224,6 +229,10 @@ func printRegistries() {
 	}
 	fmt.Println("\ntrees:")
 	fmt.Printf("  %s\n", strings.Join(spec.TreeNames(), ", "))
+	fmt.Println("\nfault schedule (spec fields):")
+	for _, e := range spec.FaultFields() {
+		fmt.Printf("  %-20s %s\n", e.Name, e.Summary)
+	}
 }
 
 func parseMesh(s string) (int, int, error) {

@@ -3,6 +3,7 @@ package diva
 import (
 	"fmt"
 
+	"diva/fault"
 	"diva/internal/core"
 	"diva/internal/decomp"
 	"diva/internal/mesh"
@@ -185,6 +186,24 @@ func WithConcurrent(on bool) Option {
 // traffic has no lookahead window to parallelize across).
 func WithShards(n int) Option {
 	return func(o *options) { o.cfg.Shards = n }
+}
+
+// WithFaults installs an explicit fault schedule (see diva/fault): timed
+// link outages and node churn, applied deterministically in the network's
+// global routing order. Repeated options accumulate (and compose with
+// WithFaultGen). An invalid schedule — unknown endpoints, a down event
+// without a matching up, a mid-state duplicate — fails New.
+func WithFaults(s fault.Schedule) Option {
+	return func(o *options) { o.cfg.Faults = append(o.cfg.Faults, s...) }
+}
+
+// WithFaultGen draws a randomized fault schedule (see fault.Gen) from the
+// machine RNG at construction: the same seed always yields the same
+// faults, across re-runs and forks. Composes with WithFaults; the drawn
+// schedule can be read back with m.Net.FaultSchedule() and re-declared
+// explicitly to reproduce the run elsewhere.
+func WithFaultGen(g fault.Gen) Option {
+	return func(o *options) { o.cfg.FaultGen = &g }
 }
 
 // New builds a simulated DIVA machine from functional options and

@@ -65,6 +65,28 @@
 // streams so independent scenario branches diverge from a shared warm
 // state.
 //
+// # Faults and irregular networks
+//
+// diva/fault injects link failures and node churn into any run. A
+// schedule is either declared explicitly (timed link-down/link-up/
+// node-down/node-up events, WithFaults) or drawn deterministically from
+// the machine seed (WithFaultGen); a spec document declares either form
+// under its "fault" key, and both build bit-identical machines when they
+// describe the same events. Faults are applied lazily in the network's
+// deterministic routing order — no extra kernel events — so faulty runs
+// keep every determinism guarantee: fingerprints are identical at any
+// kernel shard count, and snapshot/fork works mid-schedule. A message
+// whose shortest route crosses a dead link re-routes over the spanning
+// forest of the live graph (path stretch); a message into a partitioned
+// or churned-out region is held and retransmitted when the schedule heals
+// it. Network.FaultStats reports availability, stretch and retry traffic.
+//
+// Irregular interconnects to degrade come from the graph:* topology
+// registry entries (graph:regular, graph:er, graph:degraded) — arbitrary
+// connected graphs with precomputed BFS shortest-path route tables — and
+// the "faults" experiment sweeps strategy degradation under rising fault
+// rates on the mesh and the degraded mesh.
+//
 // # The implementation
 //
 // The library lives under internal/ and is re-exported here by type

@@ -72,7 +72,7 @@ func ExampleNew_registries() {
 	fmt.Printf("%s on a %s (%d processors)\n", m.Strat.Name(), m.Topo, m.P())
 	// Output:
 	// strategies: at16 at2 at2k4 at4 at4k16 at4k8 atrandom fixedhome
-	// topologies: fattree hypercube mesh torus
+	// topologies: fattree graph:degraded graph:er graph:regular hypercube mesh torus
 	// 4-ary access tree on a 4x4 torus (16 processors)
 }
 

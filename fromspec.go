@@ -3,6 +3,7 @@ package diva
 import (
 	"fmt"
 
+	"diva/fault"
 	"diva/spec"
 	"diva/strategy"
 	"diva/topology"
@@ -20,7 +21,18 @@ type (
 	WorkloadSpec = spec.Workload
 	// NetSpec is the serializable form of NetParams inside a Spec.
 	NetSpec = spec.Net
+	// FaultSpec is the serializable fault-injection section of a Spec.
+	FaultSpec = spec.Fault
 )
+
+// faultKindByName maps spec fault kind names to the fault.Kind constants;
+// a guard test pins it against spec.FaultKinds().
+var faultKindByName = map[string]fault.Kind{
+	"link-down": fault.LinkDown,
+	"link-up":   fault.LinkUp,
+	"node-down": fault.NodeDown,
+	"node-up":   fault.NodeUp,
+}
 
 // treeByName maps spec tree names to the decomposition-tree variants; a
 // guard test pins it against spec.TreeNames().
@@ -71,6 +83,23 @@ func MachineFromSpec(s Spec, extra ...Option) (*Machine, error) {
 			LocalDeliveryUS: p.LocalDeliveryUS,
 			NoBackpressure:  p.NoBackpressure,
 		}))
+	}
+	if f := n.Fault; f != nil {
+		if len(f.Events) > 0 {
+			sched := make(fault.Schedule, len(f.Events))
+			for i, ev := range f.Events {
+				sched[i] = fault.Event{AtUS: ev.AtUS, Kind: faultKindByName[ev.Kind], A: ev.A, B: ev.B}
+			}
+			opts = append(opts, WithFaults(sched))
+		}
+		if f.LinkFailures > 0 || f.NodeChurn > 0 {
+			opts = append(opts, WithFaultGen(fault.Gen{
+				LinkFailures: f.LinkFailures,
+				NodeChurn:    f.NodeChurn,
+				MeanDownUS:   f.MeanDownUS,
+				HorizonUS:    f.HorizonUS,
+			}))
+		}
 	}
 	return New(append(opts, extra...)...)
 }

@@ -88,6 +88,22 @@ type Config struct {
 	// with a data management strategy run sequentially regardless — DSM
 	// request/response traffic has no lookahead to parallelize across.
 	Shards int
+	// Faults is an explicit fault schedule (link outages and node churn)
+	// applied lazily in the network's global routing order; FaultGen, when
+	// non-nil, additionally draws a randomized schedule from a seed-derived
+	// RNG at construction (so the same seed always yields the same faults,
+	// across re-runs and forks, without advancing the machine RNG). Both
+	// empty means a fault-free machine on the exact pre-fault code path.
+	//
+	// Lookahead note for sharded runs: faults only ever remove links, and
+	// shortest live routes over a sub-network are at least as long as the
+	// healthy-net routes the lookahead window was derived from, so the
+	// conservative window stays valid under every schedule — no dynamic
+	// shrinking is needed. (Held messages retransmit with a full fresh
+	// send startup, which is itself at least the window.)
+	Faults mesh.FaultSchedule
+	// FaultGen draws additional randomized faults from a seed-derived RNG.
+	FaultGen *mesh.FaultGen
 }
 
 // Machine is a simulated parallel machine running the DIVA library.
@@ -206,6 +222,25 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.Net = mesh.NewNetwork(m.K, m.Topo, cfg.Net)
 	if m.cluster != nil {
 		m.Net.Shard(m.cluster, m.shardOf)
+	}
+	// Fault schedule: explicit events first, then the seeded draw. The draw
+	// uses its own seed-derived RNG — never the shared machine RNG — so a
+	// machine given the drawn schedule explicitly (FaultSchedule() declared
+	// back through the spec) replays bit-identically, and forks and
+	// same-seed re-runs regenerate the identical schedule. An empty result
+	// never touches the network.
+	sched := append(mesh.FaultSchedule(nil), cfg.Faults...)
+	if g := cfg.FaultGen; g != nil {
+		drawn, err := g.Generate(m.Topo, xrand.New(cfg.Seed^faultSalt))
+		if err != nil {
+			return nil, err
+		}
+		sched = append(sched, drawn...)
+	}
+	if len(sched) > 0 {
+		if err := m.Net.InstallFaults(sched); err != nil {
+			return nil, err
+		}
 	}
 	m.Tree = decomp.Build(m.Topo, cfg.Tree)
 	m.caches = make([]Cache, m.Topo.N())

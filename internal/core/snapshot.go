@@ -59,8 +59,13 @@ type Forker interface {
 }
 
 // seedSalt decorrelates the machine RNG from the raw user seed; InitVar
-// streams are further split off per strategy.
-const seedSalt = 0xd1b54a32d192ed03
+// streams are further split off per strategy. faultSalt splits off the
+// fault-schedule draw entirely — it must not advance the machine RNG, or a
+// machine given the drawn schedule explicitly would diverge.
+const (
+	seedSalt  = 0xd1b54a32d192ed03
+	faultSalt = 0x9e6c63d0876a9a35
+)
 
 // Snapshot is a deep copy of a quiescent machine's simulated state.
 // Immutable after capture; Fork any number of times, concurrently.

@@ -220,6 +220,45 @@ func TestTopologiesSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestFaultsSweepDeterministic: the degradation sweep must emit
+// byte-identical output whether its cells run sequentially or fanned out
+// across the worker pool, and the quick-mode output at the canonical seed
+// is pinned by a golden fingerprint: a change here means the simulated
+// degradation results changed, not just the formatting.
+func TestFaultsSweepDeterministic(t *testing.T) {
+	var seq bytes.Buffer
+	rs := New(&seq, true, 1999)
+	if err := rs.Run("faults"); err != nil {
+		t.Fatal(err)
+	}
+	var par bytes.Buffer
+	rp := New(&par, true, 1999)
+	rp.Workers = 4
+	if err := rp.Run("faults"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel sweep output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+			seq.String(), par.String())
+	}
+	out := seq.String()
+	for _, want := range []string{"graph:degraded", "fixedhome", "at4", "availability", "stretch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+	// The zero-fault row must report full availability and no stretch, and
+	// some faulty cell must actually degrade.
+	if !strings.Contains(out, "100%") {
+		t.Error("no cell reports 100% availability")
+	}
+	// Golden fingerprint of the quick-mode sweep at seed 1999 (FNV-1a).
+	const golden = uint64(0xf7d2935213b35533)
+	if got := fnv1a(seq.Bytes()); got != golden {
+		t.Errorf("sweep output fingerprint = %#x, want %#x (simulated results changed)", got, golden)
+	}
+}
+
 // TestFig8InFigureFanOut: the Figure 8 five-strategy Barnes-Hut sweep must
 // emit byte-identical output whether its (strategy, N) cells run
 // sequentially or fanned out across the worker pool, and the quick-mode

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"diva"
+	"diva/fault"
+	"diva/internal/apps/matmul"
+	"diva/internal/mesh"
+)
+
+// This file implements the degradation sweep ("faults"): the matrix
+// multiplication workload under rising fault rates, comparing the fixed
+// home strategy against the 4-ary access tree on the healthy mesh and on
+// an irregular degraded-mesh graph. The paper evaluates its strategy on a
+// fault-free machine; this sweep asks how gracefully each strategy
+// degrades when links fail and nodes churn mid-run — re-routes over the
+// live spanning tree stretch paths, partitions hold messages until the
+// schedule heals them, and the strategy's locality decides how much
+// traffic crosses the damaged region at all.
+
+// faultRate is one point of the sweep: a randomized schedule drawn from
+// the machine seed with this many link outages and node churns.
+type faultRate struct {
+	links, churn int
+}
+
+// faultRates returns the sweep points (quick: up to 4 link outages).
+func faultRates(quick bool) []faultRate {
+	if quick {
+		return []faultRate{{0, 0}, {2, 0}, {4, 1}}
+	}
+	return []faultRate{{0, 0}, {2, 0}, {4, 1}, {8, 2}}
+}
+
+// faultCell is one (topology, rate, strategy) measurement.
+type faultCell struct {
+	timeUS  float64
+	congMax uint64
+	stats   mesh.FaultStats
+}
+
+// runFaultCell runs the DSM matrix square for one degradation cell.
+func (r *Runner) runFaultCell(topo string, side int, rate faultRate, strat string, concurrent bool) (faultCell, error) {
+	m, err := diva.New(
+		diva.WithTopologyName(topo, side, side),
+		diva.WithSeed(r.Seed),
+		diva.WithStrategyName(strat),
+		diva.WithShards(r.Shards),
+		diva.WithConcurrent(concurrent),
+		diva.WithFaultGen(fault.Gen{
+			LinkFailures: rate.links, NodeChurn: rate.churn,
+			MeanDownUS: 20000, HorizonUS: 100000,
+		}),
+	)
+	if err != nil {
+		return faultCell{}, err
+	}
+	block := 256
+	if r.Quick {
+		block = 64
+	}
+	res, err := matmul.RunDSM(m, matmul.Config{BlockInts: block, Seed: r.Seed})
+	if err != nil {
+		return faultCell{}, err
+	}
+	return faultCell{
+		timeUS:  res.ElapsedUS,
+		congMax: m.Net.Congestion(nil).MaxMsgs,
+		stats:   m.Net.FaultStats(),
+	}, nil
+}
+
+// FigFaults produces the "faults" figure: strategy degradation under link
+// failure and churn. The (topology, rate, strategy) cells are independent
+// simulations and fan out across the runner's worker pool; every cell's
+// schedule is drawn from the machine seed, so the assembled output is
+// byte-identical to a sequential run.
+func (r *Runner) FigFaults() error {
+	topos := []string{"mesh", "graph:degraded"}
+	strategies := []string{"fixedhome", "at4"}
+	rates := faultRates(r.Quick)
+	side := 8
+	if r.Quick {
+		side = 4
+	}
+	r.header(fmt.Sprintf("Faults: strategy degradation under link failure and churn (%dx%d)", side, side))
+	fmt.Fprintf(r.W, "matmul under a seeded fault schedule: outages last 20000 us on average,\n")
+	fmt.Fprintf(r.W, "starting inside the first 100000 us; churn takes a node's interface down.\n")
+
+	nCells := len(topos) * len(rates) * len(strategies)
+	cells, err := runCells(r, nCells, func(i int, concurrent bool) (faultCell, error) {
+		ti := i / (len(rates) * len(strategies))
+		ri := i / len(strategies) % len(rates)
+		si := i % len(strategies)
+		return r.runFaultCell(topos[ti], side, rates[ri], strategies[si], concurrent)
+	})
+	if err != nil {
+		return err
+	}
+	at := func(ti, ri, si int) faultCell {
+		return cells[(ti*len(rates)+ri)*len(strategies)+si]
+	}
+
+	rows := [][]string{{"topology", "strategy", "link faults", "churn", "time (s)",
+		"congestion", "availability", "stretch", "retry bytes"}}
+	for ti, topo := range topos {
+		for si, strat := range strategies {
+			for ri, rate := range rates {
+				c := at(ti, ri, si)
+				rows = append(rows, []string{
+					topo, strat, fmt.Sprint(rate.links), fmt.Sprint(rate.churn),
+					f2(c.timeUS / 1e6), fmt.Sprint(c.congMax),
+					pct(c.stats.Availability()), f2(c.stats.Stretch()),
+					fmt.Sprint(c.stats.RetryBytes),
+				})
+			}
+		}
+	}
+	table(r.W, rows)
+
+	// Degradation relative to each cell's own fault-free run: how much of
+	// the access tree's advantage survives a damaged network.
+	fmt.Fprintln(r.W, "\nslowdown vs fault-free (same topology and strategy):")
+	rows = [][]string{{"topology", "link faults"}}
+	for _, strat := range strategies {
+		rows[0] = append(rows[0], strat)
+	}
+	rows[0] = append(rows[0], "at4/fixedhome time")
+	for ti, topo := range topos {
+		for ri, rate := range rates {
+			if rate.links == 0 && rate.churn == 0 {
+				continue
+			}
+			row := []string{topo, fmt.Sprint(rate.links)}
+			for si := range strategies {
+				row = append(row, pct(at(ti, ri, si).timeUS/at(ti, 0, si).timeUS))
+			}
+			row = append(row, pct(at(ti, ri, 1).timeUS/at(ti, ri, 0).timeUS))
+			rows = append(rows, row)
+		}
+	}
+	table(r.W, rows)
+	fmt.Fprintln(r.W, "\nFaults are applied in the network's deterministic routing order, so")
+	fmt.Fprintln(r.W, "every cell is bit-reproducible at any kernel shard count. Re-routes ride")
+	fmt.Fprintln(r.W, "the live spanning forest (stretch > 1); messages into a partition are")
+	fmt.Fprintln(r.W, "held until the schedule heals it and retransmitted (retry bytes). Both")
+	fmt.Fprintln(r.W, "strategies slow down by similar factors — the schedule hits links, not")
+	fmt.Fprintln(r.W, "strategy structures — but the access tree's shorter, more local routes")
+	fmt.Fprintln(r.W, "stretch further when forced onto the spanning forest: locality is a")
+	fmt.Fprintln(r.W, "mixed blessing on a damaged machine.")
+	return nil
+}

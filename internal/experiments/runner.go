@@ -5,7 +5,9 @@
 // illustrative Figures 1, 2 and 5. Each figure prints the measured series
 // next to the values reported in the paper. Beyond the paper, the
 // "topologies" sweep repeats the Figure-8 strategy comparison on the
-// torus, hypercube and fat-tree at matched processor counts.
+// torus, hypercube and fat-tree at matched processor counts, and the
+// "faults" sweep measures strategy degradation under seeded link-failure
+// and churn schedules on the mesh and an irregular degraded-mesh graph.
 //
 // Absolute times depend on the simulated machine's constants; the paper's
 // qualitative shape — who wins, by what factor, how ratios scale with
@@ -120,7 +122,7 @@ func New(w io.Writer, quick bool, seed uint64) *Runner {
 
 // Figures lists the available experiment names in order.
 var Figures = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11",
-	"topologies",
+	"topologies", "faults",
 	"ablation-embed", "ablation-arity", "ablation-remap", "ablation-replacement"}
 
 // Run executes one figure by name.
@@ -150,6 +152,8 @@ func (r *Runner) Run(name string) error {
 		return r.Fig11()
 	case "topologies":
 		return r.FigTopologies()
+	case "faults":
+		return r.FigFaults()
 	case "ablation-embed":
 		return r.AblationEmbedding()
 	case "ablation-arity":

@@ -143,6 +143,11 @@ type Network struct {
 	// InlineCommit/InlineAbort so a speculative replay can be reverted.
 	ilj inlineJournal
 
+	// faults is the lazily-applied fault schedule engine (fault.go); nil
+	// on a fault-free network, which then routes on the exact pre-fault
+	// code path.
+	faults *faultState
+
 	// Sharded-cluster state (shard.go); nil on a single-kernel network.
 	kernels []*sim.Kernel    // per-shard kernels, indexed by shard
 	shardOf []int            // node -> shard
@@ -162,6 +167,12 @@ type inlineJournal struct {
 	busys  []busySave
 	loads  []loadSave
 	stats  []statSave
+
+	// Fault-engine save: the schedule cursor and counters at InlineBegin,
+	// so an aborted replay rewinds lazily-applied fault events too.
+	faultSaved  bool
+	faultCursor int
+	faultStats  FaultStats
 }
 
 type cpuSave struct {
@@ -190,6 +201,11 @@ func (nw *Network) InlineBegin() {
 		panic("mesh: nested InlineBegin")
 	}
 	nw.ilj.active = true
+	if nw.faults != nil {
+		nw.ilj.faultSaved = true
+		nw.ilj.faultCursor = nw.faults.cursor
+		nw.ilj.faultStats = nw.faults.stats
+	}
 }
 
 // InlineCommit keeps all charges since InlineBegin and drops the journal.
@@ -200,6 +216,7 @@ func (nw *Network) InlineCommit() {
 	j.busys = j.busys[:0]
 	j.loads = j.loads[:0]
 	j.stats = j.stats[:0]
+	j.faultSaved = false
 }
 
 // InlineAbort reverts every charge since InlineBegin, leaving the network
@@ -219,6 +236,12 @@ func (nw *Network) InlineAbort() {
 	for _, s := range j.stats {
 		nw.sendMsgs[s.kind]--
 		nw.sendBytes[s.kind] -= uint64(s.size)
+	}
+	if j.faultSaved {
+		nw.faults.stats = j.faultStats
+		if nw.faults.cursor != j.faultCursor {
+			nw.faults.resetTo(j.faultCursor)
+		}
 	}
 	nw.InlineCommit()
 }
@@ -505,7 +528,9 @@ func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
 // scratchRoute computes (src, dst)'s route into the reusable scratch
 // buffer, for machines without a memo table.
 func (nw *Network) scratchRoute(src, dst int) []int32 {
-	return nw.appendRoute32(nw.T.AppendRoute(nw.routeBuf[:0], src, dst))
+	p := nw.T.AppendRoute(nw.routeBuf[:0], src, dst)
+	nw.routeBuf = p[:0] // keep any growth beyond the initial diameter sizing
+	return nw.appendRoute32(p)
 }
 
 // appendRoute32 copies a route into the reusable int32 scratch buffer.
@@ -519,37 +544,53 @@ func (nw *Network) appendRoute32(p []int) []int32 {
 
 // routeRaw is route without the message object: the same charging from
 // scalar (src, dst, size), shared by the event-driven delivery path and the
-// inline replay helpers.
+// inline replay helpers. With a fault schedule installed, routing goes
+// through the fault engine (fault.go); node-local delivery never touches
+// the network and is immune to faults.
 func (nw *Network) routeRaw(src, dst, size int, depart sim.Time) sim.Time {
 	if src == dst {
 		return depart + nw.P.LocalDeliveryUS
 	}
-	dur := float64(size) / nw.P.BytesPerUS
-	t := depart
-	// Routes are deterministic per (src, dst), so the path comes from the
-	// memo table — AppendRoute's coordinate walk runs once per pair, not
-	// once per message.
-	var path []int32
+	if nw.faults != nil {
+		return nw.faults.route(nw, src, dst, size, depart)
+	}
+	return nw.chargePath(nw.healthyPath(src, dst), size, depart)
+}
+
+// healthyPath returns the topology's deterministic shortest route for
+// (src, dst), src != dst. Routes come from the memo table — AppendRoute's
+// coordinate walk runs once per pair, not once per message. The returned
+// slice is valid until the next healthyPath call (slab entries live
+// forever; scratch entries are reused).
+func (nw *Network) healthyPath(src, dst int) []int32 {
 	if nw.routes == nil {
 		// Machine too large for the memo table: walk the route directly.
-		path = nw.scratchRoute(src, dst)
-	} else if ent := nw.routes[src*nw.n+dst]; ent != 0 {
-		path = nw.routeSlab[ent>>8 : ent>>8+ent&0xff]
-	} else {
-		p := nw.T.AppendRoute(nw.routeBuf[:0], src, dst)
-		// Entries pack offset<<8 | length; a route longer than 255 links
-		// or a slab past 2^24 entries (neither reachable at the paper's
-		// machine sizes) is recomputed per message instead.
-		if s := len(nw.routeSlab); len(p) <= 0xff && s <= 1<<24-1 {
-			for _, li := range p {
-				nw.routeSlab = append(nw.routeSlab, int32(li))
-			}
-			nw.routes[src*nw.n+dst] = uint32(s)<<8 | uint32(len(p))
-			path = nw.routeSlab[s:]
-		} else {
-			path = nw.appendRoute32(p)
-		}
+		return nw.scratchRoute(src, dst)
 	}
+	if ent := nw.routes[src*nw.n+dst]; ent != 0 {
+		return nw.routeSlab[ent>>8 : ent>>8+ent&0xff]
+	}
+	p := nw.T.AppendRoute(nw.routeBuf[:0], src, dst)
+	nw.routeBuf = p[:0] // keep any growth beyond the initial diameter sizing
+	// Entries pack offset<<8 | length; a route longer than 255 links
+	// or a slab past 2^24 entries (neither reachable at the paper's
+	// machine sizes) is recomputed per message instead.
+	if s := len(nw.routeSlab); len(p) <= 0xff && s <= 1<<24-1 {
+		for _, li := range p {
+			nw.routeSlab = append(nw.routeSlab, int32(li))
+		}
+		nw.routes[src*nw.n+dst] = uint32(s)<<8 | uint32(len(p))
+		return nw.routeSlab[s:]
+	}
+	return nw.appendRoute32(p)
+}
+
+// chargePath models wormhole transmission of size bytes along path
+// starting at depart: link occupancy, congestion counters, backpressure.
+// Returns the arrival time at the path's end.
+func (nw *Network) chargePath(path []int32, size int, depart sim.Time) sim.Time {
+	dur := float64(size) / nw.P.BytesPerUS
+	t := depart
 	starts := nw.startBuf[:0]
 	journal := nw.ilj.active
 	for _, li := range path {
@@ -593,6 +634,9 @@ func (nw *Network) routeRaw(src, dst, size int, depart sim.Time) sim.Time {
 			}
 		}
 	}
+	// Keep any growth: spanning-tree detours exceed the healthy-net
+	// diameter the buffer was initially sized for.
+	nw.startBuf = starts[:0]
 	return arrive
 }
 

@@ -31,6 +31,13 @@ type NetworkState struct {
 	sendMsgs  [256]uint64
 	sendBytes [256]uint64
 	inboxes   []inboxState
+
+	// Fault engine position: the schedule cursor plus counters. The
+	// schedule itself is part of the machine configuration (replayed at
+	// fork construction), so the position fully determines link state —
+	// restore re-applies the schedule prefix.
+	faultCursor int
+	faultStats  FaultStats
 }
 
 // inboxState is one node's queued inbox messages, per tag in ascending tag
@@ -61,6 +68,10 @@ func (nw *Network) SnapshotState() (*NetworkState, error) {
 		sendMsgs:  nw.sendMsgs,
 		sendBytes: nw.sendBytes,
 		inboxes:   make([]inboxState, len(nw.inboxes)),
+	}
+	if nw.faults != nil {
+		st.faultCursor = nw.faults.cursor
+		st.faultStats = nw.faults.stats
 	}
 	// Fold the per-shard counters of in-window node-local sends into the
 	// global arrays: SendStats reports the sum, so the split is invisible.
@@ -106,6 +117,15 @@ func (nw *Network) RestoreState(st *NetworkState) error {
 	}
 	if len(st.cpuFree) != len(nw.cpuFree) {
 		return fmt.Errorf("mesh: snapshot has %d nodes, network has %d", len(st.cpuFree), len(nw.cpuFree))
+	}
+	if st.faultCursor != 0 || st.faultStats != (FaultStats{}) {
+		if nw.faults == nil {
+			return fmt.Errorf("mesh: snapshot is mid fault schedule but the network has none installed")
+		}
+	}
+	if nw.faults != nil {
+		nw.faults.resetTo(st.faultCursor)
+		nw.faults.stats = st.faultStats
 	}
 	copy(nw.links, st.links)
 	copy(nw.cpuFree, st.cpuFree)

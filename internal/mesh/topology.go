@@ -60,4 +60,5 @@ var (
 	_ Topology = Torus{}
 	_ Topology = Hypercube{}
 	_ Topology = FatTree{}
+	_ Topology = (*Graph)(nil)
 )

@@ -38,7 +38,38 @@ func topoCases() []topoCase {
 		{NewFatTree(1), 2, 3, 4, 2, 1},
 		{NewFatTree(4), 16, 31, 2 * 16 * 4, 8, 8},
 		{NewFatTree(6), 64, 127, 2 * 64 * 6, 12, 32},
+		// Hand-built general graph: a 5-cycle with one chord (0-2).
+		// 6 edges = 12 directed links; diameter 2 (4 reaches 1 via 0 or 3);
+		// the id cut {0,1} vs {2,3,4} severs 0-2, 0-4, 1-2: 3 links.
+		{mustGraph("5-cycle+chord", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}}), 5, 5, 12, 2, 3},
 	}
+}
+
+func mustGraph(name string, n int, edges [][2]int) *Graph {
+	g, err := NewGraph(name, n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// generatedGraphs builds one instance per graph constructor family — the
+// shapes behind the graph:* registry entries — for the invariant tests,
+// where closed forms do not exist.
+func generatedGraphs(tb testing.TB) []Topology {
+	rr, err := NewRandomRegular(16, 4, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	er, err := NewErdosRenyi(16, 4, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dm, err := NewDegradedMesh(4, 4, 2, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []Topology{rr, er, dm}
 }
 
 // TestTopologyClosedForms: node, link, diameter and bisection counts match
@@ -121,53 +152,68 @@ func bfsDist(adj [][]int, src int) []int {
 func TestRoutesAreShortestAndDeterministic(t *testing.T) {
 	for _, tc := range topoCases() {
 		t.Run(tc.t.String(), func(t *testing.T) {
-			tp := tc.t
-			adj, ends := linkGraph(tp)
-			maxDist := 0
-			for a := 0; a < tp.N(); a++ {
-				dist := bfsDist(adj, a)
-				for b := 0; b < tp.N(); b++ {
-					route := tp.AppendRoute(nil, a, b)
-					again := tp.AppendRoute(nil, a, b)
-					if fmt.Sprint(route) != fmt.Sprint(again) {
-						t.Fatalf("route %d->%d not deterministic", a, b)
-					}
-					if len(route) != tp.Dist(a, b) {
-						t.Fatalf("route %d->%d has %d links, Dist says %d",
-							a, b, len(route), tp.Dist(a, b))
-					}
-					if dist[b] == -1 && a != b {
-						t.Fatalf("no path %d->%d in link graph", a, b)
-					}
-					if len(route) != dist[b] {
-						t.Fatalf("route %d->%d has %d links, BFS shortest is %d",
-							a, b, len(route), dist[b])
-					}
-					if tp.Dist(a, b) > maxDist {
-						maxDist = tp.Dist(a, b)
-					}
-					// The route is a connected walk from a to b.
-					cur := a
-					for _, l := range route {
-						e, ok := ends[l]
-						if !ok {
-							t.Fatalf("route %d->%d uses unknown link %d", a, b, l)
-						}
-						if e[0] != cur {
-							t.Fatalf("route %d->%d: link %d leaves %d, walk is at %d",
-								a, b, l, e[0], cur)
-						}
-						cur = e[1]
-					}
-					if cur != b {
-						t.Fatalf("route %d->%d ends at %d", a, b, cur)
-					}
-				}
-			}
-			if tp.N() > 1 && maxDist != tp.Diameter() {
-				t.Errorf("max route length %d != Diameter() %d", maxDist, tp.Diameter())
-			}
+			checkRouteInvariants(t, tc.t)
 		})
+	}
+}
+
+// TestGraphConstructorRouteInvariants: the generated-graph constructors
+// behind the graph:* registry entries satisfy the same route invariants
+// as the closed-form families.
+func TestGraphConstructorRouteInvariants(t *testing.T) {
+	for _, tp := range generatedGraphs(t) {
+		t.Run(tp.String(), func(t *testing.T) {
+			checkRouteInvariants(t, tp)
+		})
+	}
+}
+
+func checkRouteInvariants(t *testing.T, tp Topology) {
+	t.Helper()
+	adj, ends := linkGraph(tp)
+	maxDist := 0
+	for a := 0; a < tp.N(); a++ {
+		dist := bfsDist(adj, a)
+		for b := 0; b < tp.N(); b++ {
+			route := tp.AppendRoute(nil, a, b)
+			again := tp.AppendRoute(nil, a, b)
+			if fmt.Sprint(route) != fmt.Sprint(again) {
+				t.Fatalf("route %d->%d not deterministic", a, b)
+			}
+			if len(route) != tp.Dist(a, b) {
+				t.Fatalf("route %d->%d has %d links, Dist says %d",
+					a, b, len(route), tp.Dist(a, b))
+			}
+			if dist[b] == -1 && a != b {
+				t.Fatalf("no path %d->%d in link graph", a, b)
+			}
+			if len(route) != dist[b] {
+				t.Fatalf("route %d->%d has %d links, BFS shortest is %d",
+					a, b, len(route), dist[b])
+			}
+			if tp.Dist(a, b) > maxDist {
+				maxDist = tp.Dist(a, b)
+			}
+			// The route is a connected walk from a to b.
+			cur := a
+			for _, l := range route {
+				e, ok := ends[l]
+				if !ok {
+					t.Fatalf("route %d->%d uses unknown link %d", a, b, l)
+				}
+				if e[0] != cur {
+					t.Fatalf("route %d->%d: link %d leaves %d, walk is at %d",
+						a, b, l, e[0], cur)
+				}
+				cur = e[1]
+			}
+			if cur != b {
+				t.Fatalf("route %d->%d ends at %d", a, b, cur)
+			}
+		}
+	}
+	if tp.N() > 1 && maxDist != tp.Diameter() {
+		t.Errorf("max route length %d != Diameter() %d", maxDist, tp.Diameter())
 	}
 }
 

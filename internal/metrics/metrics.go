@@ -24,6 +24,11 @@ type Result struct {
 	MaxComputeUS float64
 	// TotalComputeUS sums compute over all nodes.
 	TotalComputeUS float64
+	// Faults holds the degradation counters accumulated since Baseline
+	// (availability, re-route stretch, recovery traffic); all zero on a
+	// fault-free machine. Only Total fills it — phase scoping of fault
+	// counters is not supported.
+	Faults mesh.FaultStats
 }
 
 // Collector accumulates per-link traffic deltas. Before Baseline is called
@@ -36,6 +41,7 @@ type Collector struct {
 	baseLoads   []mesh.LinkLoad
 	baseTime    sim.Time
 	baseCompute []float64
+	baseFaults  mesh.FaultStats
 
 	phaseOpen    bool
 	phaseLoads   []mesh.LinkLoad
@@ -67,6 +73,7 @@ func (c *Collector) Baseline() {
 	c.baseLoads = c.nw.Loads()
 	c.baseTime = c.nw.K.Now()
 	c.baseCompute = c.nw.ComputeTime()
+	c.baseFaults = c.nw.FaultStats()
 }
 
 // StartPhase opens a phase interval. No-op before Baseline. Phases must not
@@ -125,6 +132,7 @@ func (c *Collector) Total() Result {
 	r := Result{
 		Cong:   c.nw.Congestion(c.baseLoads),
 		TimeUS: c.nw.K.Now() - c.baseTime,
+		Faults: c.nw.FaultStats().Sub(c.baseFaults),
 	}
 	comp := c.nw.ComputeTime()
 	for i := range comp {

@@ -100,6 +100,9 @@ type RunResponse struct {
 	Verified    bool    `json:"verified"`
 	Congestion  Cong    `json:"congestion"`
 	Evictions   uint64  `json:"evictions,omitempty"`
+	// Faults reports the degradation counters of a faulty run; absent on
+	// fault-free machines.
+	Faults *FaultSummary `json:"faults,omitempty"`
 }
 
 // Cong is the congestion summary of a run.
@@ -108,6 +111,20 @@ type Cong struct {
 	MaxBytes   uint64 `json:"max_bytes"`
 	TotalMsgs  uint64 `json:"total_msgs"`
 	TotalBytes uint64 `json:"total_bytes"`
+}
+
+// FaultSummary is the degradation summary of a faulty run: availability
+// (fraction of messages deliverable at departure), spanning-tree re-route
+// counts and path stretch, and the recovery traffic of retransmissions.
+type FaultSummary struct {
+	Availability float64 `json:"availability"`
+	Routed       uint64  `json:"routed"`
+	Rerouted     uint64  `json:"rerouted"`
+	Stretch      float64 `json:"stretch"`
+	Held         uint64  `json:"held"`
+	RetryMsgs    uint64  `json:"retry_msgs"`
+	RetryBytes   uint64  `json:"retry_bytes"`
+	HeldUS       float64 `json:"held_us"`
 }
 
 // errorResponse is every non-200 body: a message, plus the per-field
@@ -203,7 +220,27 @@ func (s *Server) run(sp spec.Spec) (*RunResponse, int, error) {
 			TotalMsgs: c.TotalMsgs, TotalBytes: c.TotalBytes,
 		},
 		Evictions: diva.TotalEvictions(m),
+		Faults:    faultSummary(m),
 	}, 0, nil
+}
+
+// faultSummary extracts the degradation counters; nil when the machine
+// ran fault-free.
+func faultSummary(m *diva.Machine) *FaultSummary {
+	if m.Net.FaultSchedule() == nil {
+		return nil
+	}
+	st := m.Net.FaultStats()
+	return &FaultSummary{
+		Availability: st.Availability(),
+		Routed:       st.Routed,
+		Rerouted:     st.Rerouted,
+		Stretch:      st.Stretch(),
+		Held:         st.Held,
+		RetryMsgs:    st.RetryMsgs,
+		RetryBytes:   st.RetryBytes,
+		HeldUS:       st.HeldUS,
+	}
 }
 
 // registriesResponse lists every registered name the spec layer accepts.
@@ -212,6 +249,8 @@ type registriesResponse struct {
 	Topologies []diva.RegistryEntry `json:"topologies"`
 	Workloads  []diva.RegistryEntry `json:"workloads"`
 	Trees      []string             `json:"trees"`
+	// Faults documents the fault-schedule spec fields (spec.Fault).
+	Faults []diva.RegistryEntry `json:"faults"`
 }
 
 func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
@@ -220,6 +259,7 @@ func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
 		Topologies: diva.Topologies(),
 		Workloads:  diva.Workloads(),
 		Trees:      spec.TreeNames(),
+		Faults:     spec.FaultFields(),
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -274,14 +275,24 @@ func TestRegistriesEndpoint(t *testing.T) {
 		Topologies []spec.Registered `json:"topologies"`
 		Workloads  []spec.Registered `json:"workloads"`
 		Trees      []string          `json:"trees"`
+		Faults     []spec.Registered `json:"faults"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
 		t.Fatal(err)
 	}
-	if len(reg.Strategies) == 0 || len(reg.Topologies) != 4 ||
-		len(reg.Workloads) != 6 || len(reg.Trees) != 6 {
-		t.Errorf("registries incomplete: %d strategies, %d topologies, %d workloads, %d trees",
-			len(reg.Strategies), len(reg.Topologies), len(reg.Workloads), len(reg.Trees))
+	if len(reg.Strategies) == 0 || len(reg.Topologies) != 7 ||
+		len(reg.Workloads) != 6 || len(reg.Trees) != 6 || len(reg.Faults) != 5 {
+		t.Errorf("registries incomplete: %d strategies, %d topologies, %d workloads, %d trees, %d fault fields",
+			len(reg.Strategies), len(reg.Topologies), len(reg.Workloads), len(reg.Trees), len(reg.Faults))
+	}
+	found := false
+	for _, tp := range reg.Topologies {
+		if strings.HasPrefix(tp.Name, "graph:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registries expose no graph:* topology: %v", reg.Topologies)
 	}
 }
 

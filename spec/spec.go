@@ -52,6 +52,9 @@ type Spec struct {
 	CacheCapacity int `json:"cache_capacity,omitempty"`
 	// Net overrides the network timing; nil means the GCel calibration.
 	Net *Net `json:"net,omitempty"`
+	// Fault injects link outages and node churn into the run; nil means a
+	// fault-free machine (the exact pre-fault code path).
+	Fault *Fault `json:"fault,omitempty"`
 	// Workload selects the application and its knobs.
 	Workload Workload `json:"workload"`
 }
@@ -66,6 +69,53 @@ type Net struct {
 	StartupRecvUS   float64 `json:"startup_recv_us"`
 	LocalDeliveryUS float64 `json:"local_delivery_us"`
 	NoBackpressure  bool    `json:"no_backpressure,omitempty"`
+}
+
+// Fault describes the fault injection of a run: an explicit event list,
+// a seeded random draw, or both. Schedules are deterministic — the same
+// spec always produces the same faults — and every down event must have a
+// matching up event, so the run always heals.
+type Fault struct {
+	// Events are explicit timed faults, applied in at_us order (ties in
+	// declaration order).
+	Events []FaultEvent `json:"events,omitempty"`
+	// LinkFailures and NodeChurn additionally draw that many randomized
+	// link outages / node churns from the machine seed.
+	LinkFailures int `json:"link_failures,omitempty"`
+	NodeChurn    int `json:"node_churn,omitempty"`
+	// MeanDownUS is the mean outage duration of drawn faults (actual
+	// durations are uniform in [0.5, 1.5)×mean; default 20000).
+	MeanDownUS float64 `json:"mean_down_us,omitempty"`
+	// HorizonUS is the window drawn outages start in (default 100000).
+	HorizonUS float64 `json:"horizon_us,omitempty"`
+}
+
+// FaultEvent is one explicit timed fault. Kind is one of FaultKinds():
+// "link-down"/"link-up" affect every link between nodes A and B;
+// "node-down"/"node-up" affect node A's whole network interface (B is
+// ignored; the node's CPU keeps running — churn, not crash).
+type FaultEvent struct {
+	AtUS float64 `json:"at_us"`
+	Kind string  `json:"kind"`
+	A    int     `json:"a"`
+	B    int     `json:"b,omitempty"`
+}
+
+// FaultKinds lists the event kind names a FaultEvent accepts.
+func FaultKinds() []string {
+	return []string{"link-down", "link-up", "node-down", "node-up"}
+}
+
+// FaultFields documents the fault-schedule spec fields for listings
+// (-list, the service's /v1/registries).
+func FaultFields() []Registered {
+	return []Registered{
+		{Name: "fault.events", Summary: "explicit timed faults: {at_us, kind: " + strings.Join(FaultKinds(), "|") + ", a, b}"},
+		{Name: "fault.link_failures", Summary: "randomized link outages drawn from the machine seed"},
+		{Name: "fault.node_churn", Summary: "randomized node churns drawn from the machine seed"},
+		{Name: "fault.mean_down_us", Summary: "mean outage duration of drawn faults (default 20000)"},
+		{Name: "fault.horizon_us", Summary: "start window of drawn faults (default 100000)"},
+	}
 }
 
 // Workload selects the application by name plus its knobs. Knobs that do
@@ -209,6 +259,19 @@ func (s Spec) Normalized() Spec {
 	if w.Halo == 0 {
 		w.Halo = 64
 	}
+	if s.Fault != nil {
+		f := *s.Fault
+		f.Events = append([]FaultEvent(nil), f.Events...)
+		if f.LinkFailures > 0 || f.NodeChurn > 0 {
+			if f.MeanDownUS == 0 {
+				f.MeanDownUS = 20000
+			}
+			if f.HorizonUS == 0 {
+				f.HorizonUS = 100000
+			}
+		}
+		n.Fault = &f
+	}
 	return n
 }
 
@@ -262,6 +325,37 @@ func (s Spec) machineErrors() []FieldError {
 	}
 	if s.CacheCapacity < 0 {
 		errs = append(errs, FieldError{"cache_capacity", fmt.Sprintf("must be non-negative, got %d", s.CacheCapacity)})
+	}
+	if f := s.Fault; f != nil {
+		if len(f.Events) == 0 && f.LinkFailures == 0 && f.NodeChurn == 0 {
+			errs = append(errs, FieldError{"fault", "set but empty: declare events or a link_failures/node_churn draw (or omit the section)"})
+		}
+		if f.LinkFailures < 0 {
+			errs = append(errs, FieldError{"fault.link_failures", fmt.Sprintf("must be non-negative, got %d", f.LinkFailures)})
+		}
+		if f.NodeChurn < 0 {
+			errs = append(errs, FieldError{"fault.node_churn", fmt.Sprintf("must be non-negative, got %d", f.NodeChurn)})
+		}
+		if f.LinkFailures > 0 || f.NodeChurn > 0 {
+			if f.MeanDownUS <= 0 {
+				errs = append(errs, FieldError{"fault.mean_down_us", "must be positive"})
+			}
+			if f.HorizonUS <= 0 {
+				errs = append(errs, FieldError{"fault.horizon_us", "must be positive"})
+			}
+		}
+		for i, ev := range f.Events {
+			if !knownName(FaultKinds(), ev.Kind) {
+				errs = append(errs, FieldError{fmt.Sprintf("fault.events[%d].kind", i),
+					fmt.Sprintf("unknown kind %q (have %s)", ev.Kind, strings.Join(FaultKinds(), ", "))})
+			}
+			if ev.AtUS < 0 {
+				errs = append(errs, FieldError{fmt.Sprintf("fault.events[%d].at_us", i), "must be non-negative"})
+			}
+			if ev.A < 0 || ev.B < 0 {
+				errs = append(errs, FieldError{fmt.Sprintf("fault.events[%d]", i), "node ids must be non-negative"})
+			}
+		}
 	}
 	if p := s.Net; p != nil {
 		if p.BytesPerUS <= 0 {

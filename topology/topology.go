@@ -39,6 +39,11 @@ type (
 	// FatTree is the binary fat-tree with switch nodes, parallel links and
 	// deterministic d-mod-k routing.
 	FatTree = mesh.FatTree
+	// Graph is a general connected graph with precomputed deterministic
+	// BFS shortest-path routes: the escape hatch from regular
+	// interconnects (random-regular and Erdős–Rényi nets, degraded
+	// meshes, or any edge list via NewGraph).
+	Graph = mesh.Graph
 	// Coord addresses a mesh/torus processor by row and column.
 	Coord = mesh.Coord
 )
@@ -75,6 +80,32 @@ func NewFatTree(height int) (FatTree, error) {
 		return FatTree{}, fmt.Errorf("topology: fat-tree height must be in [0, 24], have %d", height)
 	}
 	return mesh.NewFatTree(height), nil
+}
+
+// NewGraph builds a general-graph topology from an undirected edge list
+// over n nodes. The graph must be simple and connected; routes are
+// deterministic BFS shortest paths.
+func NewGraph(name string, n int, edges [][2]int) (*Graph, error) {
+	return mesh.NewGraph(name, n, edges)
+}
+
+// NewRandomRegular builds a connected random d-regular graph over n nodes
+// from the seed (n*d must be even).
+func NewRandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return mesh.NewRandomRegular(n, d, seed)
+}
+
+// NewErdosRenyi builds a connected Erdős–Rényi graph over n nodes with the
+// given average degree from the seed (components are bridged
+// deterministically).
+func NewErdosRenyi(n int, avgDegree float64, seed uint64) (*Graph, error) {
+	return mesh.NewErdosRenyi(n, avgDegree, seed)
+}
+
+// NewDegradedMesh builds a rows×cols mesh with drop links removed at
+// random from the seed, keeping the graph connected.
+func NewDegradedMesh(rows, cols, drop int, seed uint64) (*Graph, error) {
+	return mesh.NewDegradedMesh(rows, cols, drop, seed)
 }
 
 // Builder constructs a topology from the canonical ROWSxCOLS machine size.
@@ -172,6 +203,45 @@ func init() {
 				return nil, err
 			}
 			return h, nil
+		},
+	})
+	// The graph:* entries are deterministic irregular interconnects: each
+	// builder is a pure function of the machine size (the construction
+	// seed is fixed and mixed with the processor count), so a named graph
+	// topology denotes exactly one graph — runs, forks and registries all
+	// agree on its routes.
+	const graphSeed = 0x67726170685f3842 // "graph_8B"
+	Register(Spec{
+		Name:    "graph:regular",
+		Summary: "random 4-regular graph over rows*cols nodes (fixed construction seed)",
+		Build: func(rows, cols int) (Topology, error) {
+			if rows <= 0 || cols <= 0 {
+				return nil, fmt.Errorf("topology: graph size must be positive, have %dx%d", rows, cols)
+			}
+			n := rows * cols
+			return mesh.NewRandomRegular(n, 4, graphSeed^uint64(n))
+		},
+	})
+	Register(Spec{
+		Name:    "graph:er",
+		Summary: "Erdős–Rényi graph over rows*cols nodes, average degree 4, bridged connected (fixed construction seed)",
+		Build: func(rows, cols int) (Topology, error) {
+			if rows <= 0 || cols <= 0 {
+				return nil, fmt.Errorf("topology: graph size must be positive, have %dx%d", rows, cols)
+			}
+			n := rows * cols
+			return mesh.NewErdosRenyi(n, 4, graphSeed^uint64(n))
+		},
+	})
+	Register(Spec{
+		Name:    "graph:degraded",
+		Summary: "rows*cols mesh with ~10% of its links removed, still connected (fixed construction seed)",
+		Build: func(rows, cols int) (Topology, error) {
+			if rows <= 0 || cols <= 0 {
+				return nil, fmt.Errorf("topology: graph size must be positive, have %dx%d", rows, cols)
+			}
+			drop := (rows*(cols-1) + cols*(rows-1)) / 10
+			return mesh.NewDegradedMesh(rows, cols, drop, graphSeed^uint64(rows*cols))
 		},
 	})
 	Register(Spec{

@@ -12,7 +12,7 @@ import (
 // their flag names and build the expected processor counts from the
 // canonical ROWSxCOLS size.
 func TestBuiltinRegistry(t *testing.T) {
-	want := []string{"fattree", "hypercube", "mesh", "torus"}
+	want := []string{"fattree", "graph:degraded", "graph:er", "graph:regular", "hypercube", "mesh", "torus"}
 	if got := topology.Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -39,6 +39,75 @@ func TestBuiltinRegistry(t *testing.T) {
 	}
 	if tp, err := topology.Build("hypercube", 2, 8); err != nil || tp.N() != 16 {
 		t.Errorf("Build(hypercube, 2, 8) = %v, %v", tp, err)
+	}
+}
+
+// TestGraphRegistryInvariants: every graph:* registry entry builds a
+// connected topology with shortest, deterministic routes, and building
+// the same entry twice yields the identical link structure (the
+// constructors are pure functions of the grid size).
+func TestGraphRegistryInvariants(t *testing.T) {
+	names := []string{}
+	for _, name := range topology.Names() {
+		if strings.HasPrefix(name, "graph:") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no graph:* entries registered")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			tp, err := topology.Build(name, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rebuild: identical link enumeration.
+			tp2, err := topology.Build(name, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var links1, links2 [][3]int
+			tp.ForEachLink(func(link, from, to int) { links1 = append(links1, [3]int{link, from, to}) })
+			tp2.ForEachLink(func(link, from, to int) { links2 = append(links2, [3]int{link, from, to}) })
+			if !reflect.DeepEqual(links1, links2) {
+				t.Fatal("two builds of the same graph entry differ")
+			}
+			// Routes: deterministic, length == Dist, connected walk a->b.
+			adj := make(map[int][]int)
+			ends := make(map[int][2]int)
+			for _, l := range links1 {
+				adj[l[1]] = append(adj[l[1]], l[2])
+				ends[l[0]] = [2]int{l[1], l[2]}
+			}
+			maxDist := 0
+			for a := 0; a < tp.N(); a++ {
+				for b := 0; b < tp.N(); b++ {
+					route := tp.AppendRoute(nil, a, b)
+					if len(route) != tp.Dist(a, b) {
+						t.Fatalf("route %d->%d has %d links, Dist says %d",
+							a, b, len(route), tp.Dist(a, b))
+					}
+					cur := a
+					for _, l := range route {
+						e, ok := ends[l]
+						if !ok || e[0] != cur {
+							t.Fatalf("route %d->%d broken at link %d", a, b, l)
+						}
+						cur = e[1]
+					}
+					if cur != b {
+						t.Fatalf("route %d->%d ends at %d", a, b, cur)
+					}
+					if d := tp.Dist(a, b); d > maxDist {
+						maxDist = d
+					}
+				}
+			}
+			if maxDist != tp.Diameter() {
+				t.Errorf("max pair distance %d != Diameter() %d", maxDist, tp.Diameter())
+			}
+		})
 	}
 }
 
