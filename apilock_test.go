@@ -14,8 +14,8 @@ import (
 )
 
 // TestPublicAPILock pins the exported surface of the public packages —
-// diva, diva/experiments, diva/fault, diva/serve, diva/spec,
-// diva/strategy and diva/topology — against testdata/api.txt. The
+// diva, diva/experiments, diva/fault, diva/serve, diva/snapstore,
+// diva/spec, diva/strategy and diva/topology — against testdata/api.txt. The
 // public API is a compatibility promise to embedding applications: a
 // failure here means an exported name or signature changed. If the change
 // is intentional, regenerate the golden file with
@@ -29,6 +29,7 @@ func TestPublicAPILock(t *testing.T) {
 		{"diva/experiments", "experiments"},
 		{"diva/fault", "fault"},
 		{"diva/serve", "serve"},
+		{"diva/snapstore", "snapstore"},
 		{"diva/spec", "spec"},
 		{"diva/strategy", "strategy"},
 		{"diva/topology", "topology"},

@@ -1,0 +1,90 @@
+// Cancellation contract at the public surface: a canceled run returns the
+// typed ErrCanceled and leaves no partial observable state — the canceled
+// machine can never be snapshotted, while the snapshot it was forked from
+// (and its source machine) replay bit-identically afterwards.
+package diva_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"diva"
+)
+
+func TestCancelNoPartialState(t *testing.T) {
+	warm := diva.Matmul(diva.MatmulConfig{BlockInts: 64, Seed: 1})
+	query := diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2})
+	m := diva.MustNew(diva.WithMesh(8, 8), diva.WithStrategyName("at4"),
+		diva.WithSeed(1999), diva.WithConcurrent(true))
+	mustRun(t, m, warm)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	fbase, err := diva.Fork(snap, diva.ForkConcurrent(true))
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	base := capture(t, fbase, mustRun(t, fbase, query))
+
+	// A fork canceled before its first event: typed error, no snapshot.
+	fc, err := diva.Fork(snap, diva.ForkConcurrent(true))
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = diva.WorkloadContext(ctx, query).Run(fc, nil)
+	if !errors.Is(err, diva.ErrCanceled) {
+		t.Fatalf("canceled run returned %v, want ErrCanceled", err)
+	}
+	var ce *diva.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled run returned %T, want *CanceledError", err)
+	}
+	if _, err := fc.Snapshot(); err == nil {
+		t.Fatal("a canceled machine must not be snapshottable")
+	}
+
+	// The cancellation is invisible to every sibling of the snapshot: a
+	// fresh fork and the continued source both replay the baseline exactly.
+	f2, err := diva.Fork(snap, diva.ForkConcurrent(true))
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if traj := capture(t, f2, mustRun(t, f2, query)); traj != base {
+		t.Errorf("fork after cancellation diverged:\n got: %+v\nwant: %+v", traj, base)
+	}
+	if cont := capture(t, m, mustRun(t, m, query)); cont != base {
+		t.Errorf("source machine diverged after cancellation:\n got: %+v\nwant: %+v", cont, base)
+	}
+}
+
+// TestRunContextMidRunCancel cancels the context from inside the simulated
+// program, long before the run could finish: RunContext must stop at a
+// checkpoint with the typed error and progress diagnostics.
+func TestRunContextMidRunCancel(t *testing.T) {
+	m := diva.MustNew(diva.WithMesh(8, 8), diva.WithSeed(7), diva.WithConcurrent(true))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := m.RunContext(ctx, func(p *diva.Proc) {
+		for i := 0; i < 5000; i++ {
+			if p.ID == 0 && i == 10 {
+				cancel()
+			}
+			p.Wait(1)
+		}
+	})
+	if !errors.Is(err, diva.ErrCanceled) {
+		t.Fatalf("RunContext returned %v, want ErrCanceled", err)
+	}
+	var ce *diva.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunContext returned %T, want *CanceledError", err)
+	}
+	if ce.Events == 0 {
+		t.Error("CanceledError.Events = 0, want mid-run progress")
+	}
+}

@@ -19,13 +19,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"diva"
 	"diva/serve"
@@ -40,20 +44,59 @@ func main() {
 	runMain(os.Args[1:])
 }
 
-// serveMain is the HTTP service mode: divasim serve [flags].
+// serveMain is the HTTP service mode: divasim serve [flags]. The server
+// is hardened for operation: header/idle timeouts against slow clients,
+// per-run deadlines, and a SIGTERM/SIGINT graceful drain — admission
+// closes (503 + Retry-After) while in-flight runs get -drain-timeout to
+// finish, then the listener shuts down.
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("divasim serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 4, "concurrent simulation limit")
 	queue := fs.Int("queue", 0, "wait-queue length beyond the workers (0 = 2x workers); excess requests get 429")
 	cache := fs.Int("cache", 8, "machine snapshots kept warm (distinct machine descriptions)")
+	snapshots := fs.String("snapshots", "", "directory for the on-disk snapshot store (enables /v1/snapshots and /v1/run?snapshot=...)")
+	runTimeout := fs.Duration("run-timeout", 0, "server-side cap on each run's wall-clock time (0 = only per-request timeout_ms)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight runs on SIGTERM before they are canceled")
 	fs.Parse(args)
 
-	srv := serve.New(serve.Options{Workers: *workers, Queue: *queue, SnapshotCache: *cache})
-	fmt.Printf("divasim: serving /v1/run, /v1/registries, /v1/healthz on %s (%d workers)\n", *addr, *workers)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	srv, err := serve.New(serve.Options{
+		Workers: *workers, Queue: *queue, SnapshotCache: *cache,
+		SnapshotDir: *snapshots, RunTimeout: *runTimeout,
+	})
+	if err != nil {
 		fail(err)
 	}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slowloris guards: a client must finish its headers promptly and
+		// cannot hold an idle connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("divasim: serving /v1/run, /v1/snapshots, /v1/registries, /v1/healthz on %s (%d workers)\n", *addr, *workers)
+
+	select {
+	case err := <-done:
+		fail(err)
+	case <-ctx.Done():
+	}
+	// Drain first, with the listener still up: rejected requests see 503 +
+	// Retry-After, not connection refused, so load balancers fail over
+	// cleanly. Only then shut the listener down.
+	fmt.Fprintln(os.Stderr, "divasim: signal received, draining")
+	srv.Drain(*drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "divasim: drained, bye")
 }
 
 // runMain is the single-run mode: flags (or a -spec document) build one
@@ -149,6 +192,13 @@ func runMain(args []string) {
 	m, w, err := diva.FromSpec(s)
 	if err != nil {
 		fail(err)
+	}
+	// The spec's operational deadline applies on the command line too: the
+	// run is canceled at a kernel checkpoint when it expires.
+	if ms := s.Normalized().TimeoutMS; ms > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		w = diva.WorkloadContext(ctx, w)
 	}
 	col := diva.NewCollector(m)
 	res, err := w.Run(m, col)

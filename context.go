@@ -1,0 +1,36 @@
+package diva
+
+import (
+	"context"
+
+	"diva/internal/sim"
+)
+
+// ErrCanceled is the sentinel a canceled run unwraps to: a run stopped by
+// a context — RunContext, WorkloadContext, or a serve deadline — returns
+// an error for which errors.Is(err, ErrCanceled) holds. The concrete
+// *CanceledError carries the progress diagnostics.
+//
+// Cancellation is cooperative and quiescence-safe: the kernel polls a flag
+// at a fixed executed-event period (zero cost when no context is armed),
+// kills every live process when it fires, and leaves the machine
+// permanently stopped — it can never be snapshotted, so no partial state
+// is observable, and any snapshot taken before the run replays
+// identically.
+var ErrCanceled = sim.ErrCanceled
+
+// CanceledError reports a canceled run: the simulated time it reached and
+// the number of events it executed before the checkpoint fired.
+type CanceledError = sim.CanceledError
+
+// WorkloadContext binds w to ctx: the returned workload arms the machine's
+// cancellation checkpoint (Machine.ArmCancel) for the duration of the run,
+// so canceling ctx — or its deadline passing — stops the simulation at the
+// next checkpoint with an error unwrapping to ErrCanceled. The wrapped
+// workload is otherwise identical, including its Name.
+func WorkloadContext(ctx context.Context, w Workload) Workload {
+	return workload{name: w.Name(), run: func(m *Machine, col *Collector) (Result, error) {
+		defer m.ArmCancel(ctx)()
+		return w.Run(m, col)
+	}}
+}

@@ -59,11 +59,26 @@
 // forks share no mutable state. The canonical use is
 // simulation-as-a-service: run a warm-up workload once, snapshot, fork
 // per query. diva/serve wraps this as an HTTP server (divasim serve) with
-// POST /v1/run, GET /v1/registries and GET /v1/healthz, a bounded worker
-// pool and 429 load shedding; the same capture doubles as a checkpoint
-// for crash-consistent long runs. ForkSeed re-derives a fork's random
-// streams so independent scenario branches diverge from a shared warm
-// state.
+// POST /v1/run, POST/GET /v1/snapshots, GET /v1/registries and
+// GET /v1/healthz, a bounded worker pool and 429 load shedding; the same
+// capture doubles as a checkpoint for crash-consistent long runs —
+// diva/snapstore persists it to disk (atomic rename, checksummed,
+// versioned) and a fork from the loaded state is bit-identical to a fork
+// from the live one, across process restarts. ForkSeed re-derives a
+// fork's random streams so independent scenario branches diverge from a
+// shared warm state.
+//
+// Long runs are cancellable without giving up determinism. RunContext and
+// WorkloadContext tie a run to a context.Context; cancellation (or an
+// expired deadline, or the spec's timeout_ms through the service) raises
+// a cooperative flag the kernel polls every 1024 events — zero cost when
+// unarmed — and the run returns ErrCanceled (a *CanceledError carrying
+// progress diagnostics). The contract is all-or-nothing at the
+// observation level: a canceled machine is permanently stopped and can
+// never be snapshotted, so no partially-executed state escapes, while the
+// snapshot the machine was forked from — and every sibling fork, and the
+// continued source — replay bit-identically as if the canceled run had
+// never happened.
 //
 // # Faults and irregular networks
 //

@@ -1,0 +1,13 @@
+package barneshut
+
+import "encoding/gob"
+
+// Bodies, tree cells and the ROOT record live in machine variables, so
+// they must be gob-registered for a snapshot of a Barnes-Hut-warmed
+// machine to persist to disk (diva/snapstore).
+func init() {
+	gob.RegisterName("diva/barneshut.Body", &Body{})
+	gob.RegisterName("diva/barneshut.Cell", &Cell{})
+	gob.RegisterName("diva/barneshut.rootInfo", rootInfo{})
+	gob.RegisterName("diva/barneshut.Ref", Ref(0))
+}

@@ -1,0 +1,10 @@
+package bitonic
+
+import "encoding/gob"
+
+// Key slices live in machine variables and hand-optimized message
+// payloads, so they must be gob-registered for a snapshot of a
+// bitonic-warmed machine to persist to disk (diva/snapstore).
+func init() {
+	gob.Register([]int32(nil))
+}

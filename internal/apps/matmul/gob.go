@@ -1,0 +1,10 @@
+package matmul
+
+import "encoding/gob"
+
+// Matrix blocks live in machine variables and inbox payloads, so they must
+// be gob-registered for a snapshot of a matmul-warmed machine to persist
+// to disk (diva/snapstore).
+func init() {
+	gob.RegisterName("diva/matmul.block", block(nil))
+}

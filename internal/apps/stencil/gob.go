@@ -1,0 +1,10 @@
+package stencil
+
+import "encoding/gob"
+
+// Halo checksum payloads are normally consumed within an iteration, but a
+// snapshot may still catch one queued in an inbox; register the payload
+// type so such a snapshot can persist to disk (diva/snapstore).
+func init() {
+	gob.Register(uint64(0))
+}

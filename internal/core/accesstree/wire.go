@@ -1,0 +1,133 @@
+package accesstree
+
+import (
+	"encoding/gob"
+
+	"diva/internal/core"
+	"diva/internal/xrand"
+)
+
+// Wire form of the access-tree strategy snapshot (core.WireSnapshotter /
+// core.StratWire), mirroring snapState with exported, gob-encodable
+// fields.
+
+// Wire is the serializable access-tree strategy state.
+type Wire struct {
+	RNG    xrand.State
+	Remaps int
+	Vars   []VarWire // indexed by VarID; Present=false for freed variables
+}
+
+// VarWire is one variable's tree state. Values, not pointers: gob rejects
+// nil elements in pointer slices, and freed variables leave holes.
+type VarWire struct {
+	Present     bool
+	RootPos     int
+	Seed        uint64
+	Creator     int
+	Nodes       []NodeWire
+	Lock        *LockWire
+	PosOverride map[int]int
+	Remaps      int
+}
+
+// NodeWire is one dense node-table entry.
+type NodeWire struct {
+	Member   bool
+	Toward   int32
+	Edges    uint32
+	Accesses uint32
+}
+
+// LockWire is a quiescent lock: path-reversal arrows plus the leaf the
+// free token rests at.
+type LockWire struct {
+	Arrows  map[int]int32
+	TokenAt int
+}
+
+func init() {
+	gob.RegisterName("diva/accesstree.Wire", &Wire{})
+}
+
+// Wire implements core.WireSnapshotter.
+func (st *snapState) Wire() core.StratWire {
+	w := &Wire{RNG: st.rng, Remaps: st.remaps, Vars: make([]VarWire, len(st.vars))}
+	for i, vsn := range st.vars {
+		if vsn == nil {
+			continue
+		}
+		vw := VarWire{
+			Present: true,
+			RootPos: vsn.rootPos,
+			Seed:    vsn.seed,
+			Creator: vsn.creator,
+			Nodes:   make([]NodeWire, len(vsn.nodes)),
+			Remaps:  vsn.remaps,
+		}
+		for j, n := range vsn.nodes {
+			vw.Nodes[j] = NodeWire{Member: n.member, Toward: n.toward, Edges: n.edges, Accesses: n.accesses}
+		}
+		if lsn := vsn.lock; lsn != nil {
+			lw := &LockWire{TokenAt: lsn.tokenAt, Arrows: make(map[int]int32, len(lsn.arrows))}
+			for k, a := range lsn.arrows {
+				lw.Arrows[k] = a
+			}
+			vw.Lock = lw
+		}
+		if vsn.posOverride != nil {
+			vw.PosOverride = make(map[int]int, len(vsn.posOverride))
+			for k, p := range vsn.posOverride {
+				vw.PosOverride[k] = p
+			}
+		}
+		w.Vars[i] = vw
+	}
+	return w
+}
+
+// Blob implements core.StratWire.
+func (w *Wire) Blob() interface{} {
+	st := &snapState{rng: w.RNG, remaps: w.Remaps, vars: make([]*varSnapState, len(w.Vars))}
+	for i := range w.Vars {
+		vw := &w.Vars[i]
+		if !vw.Present {
+			continue
+		}
+		vsn := &varSnapState{
+			rootPos: vw.RootPos,
+			seed:    vw.Seed,
+			creator: vw.Creator,
+			nodes:   make([]nodeState, len(vw.Nodes)),
+			remaps:  vw.Remaps,
+		}
+		for j, n := range vw.Nodes {
+			vsn.nodes[j] = nodeState{member: n.Member, toward: n.Toward, edges: n.Edges, accesses: n.Accesses}
+		}
+		if lw := vw.Lock; lw != nil {
+			lsn := &lockSnapState{tokenAt: lw.TokenAt, arrows: make(map[int]int32, len(lw.Arrows))}
+			for k, a := range lw.Arrows {
+				lsn.arrows[k] = a
+			}
+			vsn.lock = lsn
+		}
+		if vw.PosOverride != nil {
+			vsn.posOverride = make(map[int]int, len(vw.PosOverride))
+			for k, p := range vw.PosOverride {
+				vsn.posOverride[k] = p
+			}
+		}
+		st.vars[i] = vsn
+	}
+	return st
+}
+
+// CacheKey implements core.StratWire.
+func (w *Wire) CacheKey(k core.KeyWire) interface{} {
+	return atKey{v: core.VarID(k.Var), node: k.Node}
+}
+
+// WireKey implements core.WireKeyer.
+func (k atKey) WireKey() core.KeyWire {
+	return core.KeyWire{Var: int32(k.v), Node: k.node}
+}

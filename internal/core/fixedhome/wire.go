@@ -1,0 +1,75 @@
+package fixedhome
+
+import (
+	"encoding/gob"
+
+	"diva/internal/core"
+	"diva/internal/xrand"
+)
+
+// Wire form of the fixed-home strategy snapshot (core.WireSnapshotter /
+// core.StratWire), mirroring snapState with exported, gob-encodable
+// fields.
+
+// Wire is the serializable fixed-home strategy state.
+type Wire struct {
+	RNG  xrand.State
+	Vars []VarWire // indexed by VarID; Present=false for freed variables
+}
+
+// VarWire is one variable's directory record. Values, not pointers: gob
+// rejects nil elements in pointer slices, and freed variables leave holes.
+type VarWire struct {
+	Present bool
+	Home    int
+	Owner   int
+	Holders []int // sorted
+}
+
+func init() {
+	gob.RegisterName("diva/fixedhome.Wire", &Wire{})
+}
+
+// Wire implements core.WireSnapshotter.
+func (st *snapState) Wire() core.StratWire {
+	w := &Wire{RNG: st.rng, Vars: make([]VarWire, len(st.vars))}
+	for i, vsn := range st.vars {
+		if vsn == nil {
+			continue
+		}
+		w.Vars[i] = VarWire{
+			Present: true,
+			Home:    vsn.home,
+			Owner:   vsn.owner,
+			Holders: append([]int(nil), vsn.holders...),
+		}
+	}
+	return w
+}
+
+// Blob implements core.StratWire.
+func (w *Wire) Blob() interface{} {
+	st := &snapState{rng: w.RNG, vars: make([]*varSnapState, len(w.Vars))}
+	for i := range w.Vars {
+		vw := &w.Vars[i]
+		if !vw.Present {
+			continue
+		}
+		st.vars[i] = &varSnapState{
+			home:    vw.Home,
+			owner:   vw.Owner,
+			holders: append([]int(nil), vw.Holders...),
+		}
+	}
+	return st
+}
+
+// CacheKey implements core.StratWire.
+func (w *Wire) CacheKey(k core.KeyWire) interface{} {
+	return fhKey{v: core.VarID(k.Var), node: k.Node}
+}
+
+// WireKey implements core.WireKeyer.
+func (k fhKey) WireKey() core.KeyWire {
+	return core.KeyWire{Var: int32(k.v), Node: k.node}
+}

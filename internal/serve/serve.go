@@ -12,18 +12,38 @@
 //
 // Admission control is a bounded worker pool plus a bounded wait queue:
 // at most Workers runs execute at once, at most Queue more wait, and
-// anything beyond that is rejected immediately with 429 — a saturated
-// simulation server must shed load, not accumulate unbounded arenas.
+// anything beyond that is rejected immediately with 429 and a Retry-After
+// derived from the queue depth — a saturated simulation server must shed
+// load, not accumulate unbounded arenas.
+//
+// Operational hardening. Every run is tied to its request context: a
+// client disconnect or a deadline (the spec's timeout_ms, capped by
+// Options.RunTimeout) raises the kernel's cooperative cancellation flag
+// and the run stops at the next checkpoint — deadline expiry answers 504
+// with progress diagnostics, a vanished client just aborts the fork. A
+// panicking run answers 500 and leaves the pool healthy. Drain stops
+// admission (503 + Retry-After) and waits for in-flight runs, cancelling
+// whatever is still running at the drain deadline. With Options.
+// SnapshotDir set, warmed machine snapshots persist to a crash-consistent
+// on-disk store (diva/snapstore): POST /v1/snapshots runs a warm-up spec
+// once and answers a handle, /v1/run?snapshot=<handle> forks from the
+// stored state — including after a server restart.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diva"
+	"diva/snapstore"
 	"diva/spec"
 )
 
@@ -37,6 +57,14 @@ type Options struct {
 	// SnapshotCache bounds the distinct machine descriptions whose birth
 	// snapshots are kept warm (default 8, least recently used eviction).
 	SnapshotCache int
+	// SnapshotDir, when non-empty, enables the on-disk snapshot store:
+	// POST /v1/snapshots persists warmed machines there and
+	// /v1/run?snapshot=<handle> forks from them, surviving restarts.
+	SnapshotDir string
+	// RunTimeout caps every run's wall-clock duration, in addition to the
+	// per-request timeout_ms (the tighter bound wins). Zero means no
+	// server-side cap.
+	RunTimeout time.Duration
 }
 
 func (o *Options) defaults() {
@@ -51,39 +79,86 @@ func (o *Options) defaults() {
 	}
 }
 
-// Server handles the /v1 simulation API. Create with New, expose with
-// Handler.
-type Server struct {
-	opts Options
-	mux  *http.ServeMux
-	sem  chan struct{}
+// maxSpecBytes bounds the request body: a spec document is small, and an
+// unbounded read is a trivial memory DoS.
+const maxSpecBytes = 1 << 20
 
-	queued   atomic.Int64 // requests admitted and not yet finished
-	inflight atomic.Int64 // requests holding a worker
-	runs     atomic.Int64 // completed successfully
-	rejected atomic.Int64 // shed with 429
+// Server handles the /v1 simulation API. Create with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	sem   chan struct{}
+	store *snapstore.Store // nil without Options.SnapshotDir
+
+	// baseCtx is canceled at the drain deadline: it is the ancestor of
+	// every run's context, so cancelling it aborts whatever is still
+	// simulating.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	drainOnce  sync.Once
+	wg         sync.WaitGroup // admitted requests
+
+	queued      atomic.Int64 // requests admitted and not yet finished
+	inflight    atomic.Int64 // requests holding a worker
+	runs        atomic.Int64 // completed successfully
+	rejected    atomic.Int64 // shed with 429
+	panics      atomic.Int64 // runs that panicked (answered 500)
+	timeouts    atomic.Int64 // runs canceled by deadline (answered 504)
+	disconnects atomic.Int64 // runs aborted by client disconnect
 
 	snaps snapCache
 
+	encodeLogOnce sync.Once
+
 	// gate, when set by a test, runs while holding a worker slot — it
-	// lets the saturation test pin the 429 path deterministically.
+	// lets the saturation, drain and panic tests pin their paths
+	// deterministically.
 	gate func()
 }
 
-// New returns a server with the given options.
-func New(o Options) *Server {
+// New returns a server with the given options. It fails only when
+// Options.SnapshotDir is set but unusable.
+func New(o Options) (*Server, error) {
 	o.defaults()
 	s := &Server{opts: o, sem: make(chan struct{}, o.Workers)}
+	if o.SnapshotDir != "" {
+		st, err := snapstore.Open(o.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.snaps.cap = o.SnapshotCache
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/snapshots", s.handleSnapshots)
 	s.mux.HandleFunc("/v1/registries", s.handleRegistries)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving the /v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the server: admission closes immediately (new
+// runs get 503 with Retry-After; healthz keeps answering, reporting
+// "draining"), in-flight runs get until timeout to finish, and whatever is
+// still simulating at the deadline is canceled at its next kernel
+// checkpoint. Drain returns when no run remains; it is idempotent, and
+// concurrent calls all block until the first completes.
+func (s *Server) Drain(timeout time.Duration) {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		t := time.AfterFunc(timeout, s.baseCancel)
+		defer t.Stop()
+		s.wg.Wait()
+		s.baseCancel()
+	})
+	s.wg.Wait()
+}
 
 // RunResponse is the /v1/run answer: the run's identity, the simulated
 // outcome and the event-order fingerprint. Two responses with equal
@@ -127,66 +202,217 @@ type FaultSummary struct {
 	HeldUS       float64 `json:"held_us"`
 }
 
-// errorResponse is every non-200 body: a message, plus the per-field
-// breakdown for validation failures.
+// SnapshotResponse is the POST /v1/snapshots answer.
+type SnapshotResponse struct {
+	Handle string `json:"handle"`
+	Shards int    `json:"shards"`
+	// Restored reports that the handle was recovered from disk rather than
+	// warmed by this request — after a restart, typically.
+	Restored bool `json:"restored,omitempty"`
+}
+
+// errorResponse is every non-200 body: a message, the per-field breakdown
+// for validation failures, and the progress diagnostics of a 504 (how far
+// the canceled run got, in events, simulated time and wall clock).
 type errorResponse struct {
-	Error  string            `json:"error"`
-	Fields []spec.FieldError `json:"fields,omitempty"`
+	Error        string            `json:"error"`
+	Fields       []spec.FieldError `json:"fields,omitempty"`
+	Events       uint64            `json:"events,omitempty"`
+	SimElapsedUS float64           `json:"sim_elapsed_us,omitempty"`
+	WallMS       int64             `json:"wall_ms,omitempty"`
+}
+
+// decodeSpec reads one bounded spec document from the request.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (spec.Spec, bool) {
+	var sp spec.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("spec document exceeds %d bytes", tooBig.Limit), nil)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "malformed spec: "+err.Error(), nil)
+		}
+		return sp, false
+	}
+	return sp, true
+}
+
+// admit applies admission control and registers the request with the
+// drain group. On success the caller owns a worker slot and must call the
+// returned release.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	// The wg.Add precedes the draining check: Drain sets the flag before
+	// waiting, so every request it must wait for is already registered.
+	s.wg.Add(1)
+	if s.draining.Load() {
+		s.wg.Done()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "server draining: not accepting new runs", nil)
+		return nil, false
+	}
+	if q := s.queued.Add(1); q > int64(s.opts.Workers+s.opts.Queue) {
+		s.queued.Add(-1)
+		s.wg.Done()
+		s.rejected.Add(1)
+		// Estimate the queue drain time from its depth: with q-1 requests
+		// ahead, a fresh attempt after depth/workers run-slots is likely to
+		// be admitted.
+		retry := 1 + (int(q)-1)/s.opts.Workers
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		s.writeError(w, http.StatusTooManyRequests, "server saturated: try again later", nil)
+		return nil, false
+	}
+	s.sem <- struct{}{}
+	s.inflight.Add(1)
+	return func() {
+		s.inflight.Add(-1)
+		<-s.sem
+		s.queued.Add(-1)
+		s.wg.Done()
+	}, true
+}
+
+// runCtx derives the context governing one run: the request's own context
+// (client disconnect), the server's drain deadline, and the effective
+// timeout — the tighter of the spec's timeout_ms and Options.RunTimeout.
+func (s *Server) runCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	d := s.opts.RunTimeout
+	if t := time.Duration(timeoutMS) * time.Millisecond; t > 0 && (d == 0 || t < d) {
+		d = t
+	}
+	if d > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, d)
+		prev := cancel
+		cancel = func() { cancelT(); prev() }
+	}
+	prev := cancel
+	return ctx, func() { stop(); prev() }
+}
+
+// finishRun classifies a run error and writes the response: client gone →
+// nothing (the connection is dead), drain deadline → 503, request
+// deadline → 504 with progress diagnostics, anything else → its status.
+func (s *Server) finishRun(w http.ResponseWriter, r *http.Request, status int, err error, started time.Time) {
+	var ce *diva.CanceledError
+	if errors.As(err, &ce) {
+		switch {
+		case r.Context().Err() != nil:
+			s.disconnects.Add(1)
+			return
+		case s.baseCtx.Err() != nil:
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "server draining: run aborted", nil)
+			return
+		default:
+			s.timeouts.Add(1)
+			s.writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+				Error:        "deadline exceeded: run canceled at a kernel checkpoint",
+				Events:       ce.Events,
+				SimElapsedUS: float64(ce.At),
+				WallMS:       time.Since(started).Milliseconds(),
+			})
+			return
+		}
+	}
+	s.writeError(w, status, err.Error(), nil)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST a spec document", nil)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a spec document", nil)
 		return
 	}
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var sp spec.Spec
-	if err := dec.Decode(&sp); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed spec: "+err.Error(), nil)
+	sp, ok := s.decodeSpec(w, r)
+	if !ok {
 		return
 	}
-	if err := sp.Validate(); err != nil {
-		var fields []spec.FieldError
-		if ve, ok := err.(*spec.ValidationError); ok {
-			fields = ve.Fields
+	handle := r.URL.Query().Get("snapshot")
+	if handle == "" {
+		// Snapshot runs validate after merging with the stored machine
+		// spec; plain runs validate the document as-is, up front.
+		if err := sp.Validate(); err != nil {
+			var fields []spec.FieldError
+			if ve, ok := err.(*spec.ValidationError); ok {
+				fields = ve.Fields
+			}
+			s.writeError(w, http.StatusBadRequest, err.Error(), fields)
+			return
 		}
-		writeError(w, http.StatusBadRequest, err.Error(), fields)
+	} else if s.store == nil {
+		s.writeError(w, http.StatusNotImplemented, "snapshot store not configured (start with a snapshot directory)", nil)
 		return
 	}
 
-	// Admission: at most Workers running plus Queue waiting; shed beyond.
-	if s.queued.Add(1) > int64(s.opts.Workers+s.opts.Queue) {
-		s.queued.Add(-1)
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server saturated: try again later", nil)
+	release, ok := s.admit(w)
+	if !ok {
 		return
 	}
-	defer s.queued.Add(-1)
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-	if s.gate != nil {
-		s.gate()
-	}
+	defer release()
 
-	resp, status, err := s.run(sp)
+	ctx, cancel := s.runCtx(r, sp.TimeoutMS)
+	defer cancel()
+	started := time.Now()
+	resp, status, err := s.runSafe(ctx, sp, handle)
 	if err != nil {
-		writeError(w, status, err.Error(), nil)
+		s.finishRun(w, r, status, err, started)
 		return
 	}
 	s.runs.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// run executes one validated spec on a fork of the cached base machine.
-func (s *Server) run(sp spec.Spec) (*RunResponse, int, error) {
+// runSafe is run behind a panic barrier: one faulty run answers 500 and
+// increments the panic counter instead of taking the process down.
+func (s *Server) runSafe(ctx context.Context, sp spec.Spec, handle string) (resp *RunResponse, status int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			log.Printf("serve: run panicked: %v\n%s", r, debug.Stack())
+			resp, status, err = nil, http.StatusInternalServerError, fmt.Errorf("internal error: run panicked")
+		}
+	}()
+	if s.gate != nil {
+		s.gate()
+	}
+	if err := ctx.Err(); err != nil {
+		// The deadline (or the client) expired while queued: report it as a
+		// canceled run that executed nothing.
+		return nil, 0, &diva.CanceledError{}
+	}
+	return s.run(ctx, sp, handle)
+}
+
+// run executes one spec on a fork — of the cached base machine, or of the
+// stored snapshot when a handle is given (the stored spec supplies the
+// machine half; the request supplies the workload).
+func (s *Server) run(ctx context.Context, sp spec.Spec, handle string) (*RunResponse, int, error) {
 	n := sp.Normalized()
-	snap, err := s.snaps.get(n)
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err
+	var snap *diva.Snapshot
+	if handle != "" {
+		e, err := s.snapshotByHandle(handle)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		merged := e.sp
+		merged.Workload = sp.Workload
+		merged.TimeoutMS = sp.TimeoutMS
+		if err := merged.Validate(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		n = merged.Normalized()
+		snap = e.snap
+	} else {
+		var err error
+		snap, err = s.snaps.base(n)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, err
+		}
 	}
 	m, err := diva.Fork(snap, diva.ForkConcurrent(true))
 	if err != nil {
@@ -196,8 +422,11 @@ func (s *Server) run(sp spec.Spec) (*RunResponse, int, error) {
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
-	res, err := wl.Run(m, nil)
+	res, err := diva.WorkloadContext(ctx, wl).Run(m, nil)
 	if err != nil {
+		if errors.Is(err, diva.ErrCanceled) {
+			return nil, 0, err
+		}
 		return nil, http.StatusUnprocessableEntity, fmt.Errorf("run failed: %w", err)
 	}
 	c := m.Net.Congestion(nil)
@@ -222,6 +451,89 @@ func (s *Server) run(sp spec.Spec) (*RunResponse, int, error) {
 		Evictions: diva.TotalEvictions(m),
 		Faults:    faultSummary(m),
 	}, 0, nil
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeError(w, http.StatusNotImplemented, "snapshot store not configured (start with a snapshot directory)", nil)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		entries, err := s.store.List()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err.Error(), nil)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]interface{}{"snapshots": entries})
+	case http.MethodPost:
+		s.handleSnapshotCreate(w, r)
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a warm-up spec, or GET the list", nil)
+	}
+}
+
+// handleSnapshotCreate warms a machine from the posted spec (machine +
+// warm-up workload), snapshots it at quiescence and persists it under its
+// canonical handle. Idempotent: re-posting an existing handle answers
+// without re-running, including after a restart (the store is consulted
+// before warming).
+func (s *Server) handleSnapshotCreate(w http.ResponseWriter, r *http.Request) {
+	sp, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	if err := sp.Validate(); err != nil {
+		var fields []spec.FieldError
+		if ve, ok := err.(*spec.ValidationError); ok {
+			fields = ve.Fields
+		}
+		s.writeError(w, http.StatusBadRequest, err.Error(), fields)
+		return
+	}
+
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.runCtx(r, sp.TimeoutMS)
+	defer cancel()
+	started := time.Now()
+	resp, status, err := s.snapshotSafe(ctx, sp)
+	if err != nil {
+		s.finishRun(w, r, status, err, started)
+		return
+	}
+	s.runs.Add(1)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) snapshotSafe(ctx context.Context, sp spec.Spec) (resp *SnapshotResponse, status int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			log.Printf("serve: snapshot warm-up panicked: %v\n%s", r, debug.Stack())
+			resp, status, err = nil, http.StatusInternalServerError, fmt.Errorf("internal error: warm-up panicked")
+		}
+	}()
+	if s.gate != nil {
+		s.gate()
+	}
+	handle := snapstore.Handle(sp)
+	e, err := s.warmOrLoad(ctx, handle, sp)
+	if err != nil {
+		if errors.Is(err, diva.ErrCanceled) {
+			return nil, 0, err
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	shards := e.sp.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	return &SnapshotResponse{Handle: handle, Shards: shards, Restored: e.restored}, 0, nil
 }
 
 // faultSummary extracts the degradation counters; nil when the machine
@@ -254,7 +566,7 @@ type registriesResponse struct {
 }
 
 func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, registriesResponse{
+	s.writeJSON(w, http.StatusOK, registriesResponse{
 		Strategies: diva.Strategies(),
 		Topologies: diva.Topologies(),
 		Workloads:  diva.Workloads(),
@@ -263,44 +575,63 @@ func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthzResponse reports liveness and the admission counters.
+// healthzResponse reports liveness, the admission counters and the
+// hardening counters.
 type healthzResponse struct {
-	Status    string `json:"status"`
-	Runs      int64  `json:"runs"`
-	Inflight  int64  `json:"inflight"`
-	Queued    int64  `json:"queued"`
-	Rejected  int64  `json:"rejected"`
-	Snapshots int    `json:"snapshots"`
+	Status      string `json:"status"` // "ok" or "draining"
+	Runs        int64  `json:"runs"`
+	Inflight    int64  `json:"inflight"`
+	Queued      int64  `json:"queued"`
+	Rejected    int64  `json:"rejected"`
+	Panics      int64  `json:"panics"`
+	Timeouts    int64  `json:"timeouts"`
+	Disconnects int64  `json:"disconnects"`
+	Snapshots   int    `json:"snapshots"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:    "ok",
-		Runs:      s.runs.Load(),
-		Inflight:  s.inflight.Load(),
-		Queued:    s.queued.Load(),
-		Rejected:  s.rejected.Load(),
-		Snapshots: s.snaps.len(),
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:      status,
+		Runs:        s.runs.Load(),
+		Inflight:    s.inflight.Load(),
+		Queued:      s.queued.Load(),
+		Rejected:    s.rejected.Load(),
+		Panics:      s.panics.Load(),
+		Timeouts:    s.timeouts.Load(),
+		Disconnects: s.disconnects.Load(),
+		Snapshots:   s.snaps.len(),
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Almost always a client that went away mid-write; log the first
+		// occurrence, not one line per dead connection.
+		s.encodeLogOnce.Do(func() {
+			log.Printf("serve: response encode failed (further occurrences suppressed): %v", err)
+		})
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string, fields []spec.FieldError) {
-	writeJSON(w, status, errorResponse{Error: msg, Fields: fields})
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string, fields []spec.FieldError) {
+	s.writeJSON(w, status, errorResponse{Error: msg, Fields: fields})
 }
 
-// snapCache caches birth snapshots of base machines, one per distinct
-// machine description, with least-recently-used eviction. A base machine
-// is built once, snapshotted before any process runs, and every request
-// forks from the snapshot — construction cost is amortized across
-// requests, and forks give per-request isolation.
+// snapCache caches machine snapshots with least-recently-used eviction,
+// under two kinds of key: birth snapshots of base machines ("spec:" +
+// machine description, shared by every workload and timeout) and warmed
+// snapshots by store handle ("snap:" + handle). A base machine is built
+// once, snapshotted before any process runs, and every request forks from
+// the snapshot — construction cost is amortized across requests, and
+// forks give per-request isolation.
 type snapCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -309,40 +640,65 @@ type snapCache struct {
 }
 
 type snapEntry struct {
-	once sync.Once
-	snap *diva.Snapshot
-	err  error
+	once     sync.Once
+	sp       spec.Spec // stored spec (handle entries only)
+	snap     *diva.Snapshot
+	restored bool // loaded from disk, not warmed by a request
+	err      error
 }
 
-// get returns the snapshot for the machine half of a normalized spec,
-// building the base machine on first use. Concurrent requests for the
-// same machine build it once (sync.Once); requests for different
+// entry returns the cached entry under key, creating (and LRU-evicting)
+// as needed. The caller fills it under e.once.
+func (c *snapCache) entry(key string) *snapEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*snapEntry)
+	}
+	e, ok := c.m[key]
+	if ok {
+		c.touch(key)
+		return e
+	}
+	e = &snapEntry{}
+	c.m[key] = e
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	return e
+}
+
+// drop removes a failed entry so a later request can retry: run-time
+// failures (a canceled warm-up, a vanished file) are not permanent
+// properties of the key the way validation failures are.
+func (c *snapCache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// base returns the birth snapshot for the machine half of a normalized
+// spec, building the base machine on first use. Concurrent requests for
+// the same machine build it once (sync.Once); requests for different
 // machines build in parallel.
-func (c *snapCache) get(n spec.Spec) (*diva.Snapshot, error) {
+func (c *snapCache) base(n spec.Spec) (*diva.Snapshot, error) {
 	// The cache key is the canonical JSON of the machine fields only:
-	// specs differing just in workload share one base machine.
+	// specs differing just in workload or timeout share one base machine.
 	n.Workload = spec.Workload{}
+	n.TimeoutMS = 0
 	key, err := json.Marshal(n)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[string]*snapEntry)
-	}
-	e, ok := c.m[string(key)]
-	if ok {
-		c.touch(string(key))
-	} else {
-		e = &snapEntry{}
-		c.m[string(key)] = e
-		c.order = append(c.order, string(key))
-		for len(c.order) > c.cap {
-			delete(c.m, c.order[0])
-			c.order = c.order[1:]
-		}
-	}
-	c.mu.Unlock()
+	e := c.entry("spec:" + string(key))
 	e.once.Do(func() {
 		var m *diva.Machine
 		m, e.err = diva.MachineFromSpec(n, diva.WithConcurrent(true))
@@ -352,6 +708,69 @@ func (c *snapCache) get(n spec.Spec) (*diva.Snapshot, error) {
 		e.snap, e.err = m.Snapshot()
 	})
 	return e.snap, e.err
+}
+
+// snapshotByHandle resolves a stored snapshot: from the warm cache if the
+// handle is resident, from disk otherwise.
+func (s *Server) snapshotByHandle(handle string) (*snapEntry, error) {
+	key := "snap:" + handle
+	e := s.snaps.entry(key)
+	e.once.Do(func() {
+		e.sp, e.snap, e.err = s.store.Load(handle, diva.WithConcurrent(true))
+		e.restored = true
+		if e.err != nil {
+			e.err = fmt.Errorf("unknown snapshot %q: %w", handle, e.err)
+		}
+	})
+	if e.err != nil {
+		s.snaps.drop(key)
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// warmOrLoad resolves the handle for POST /v1/snapshots: an existing file
+// is loaded (idempotent re-posts, restart recovery), otherwise the spec's
+// machine is built, warmed under ctx, snapshotted and persisted.
+func (s *Server) warmOrLoad(ctx context.Context, handle string, sp spec.Spec) (*snapEntry, error) {
+	key := "snap:" + handle
+	e := s.snaps.entry(key)
+	e.once.Do(func() {
+		if s.store.Has(handle) {
+			e.sp, e.snap, e.err = s.store.Load(handle, diva.WithConcurrent(true))
+			e.restored = true
+			return
+		}
+		n := sp.Normalized()
+		m, wl, err := diva.FromSpec(n, diva.WithConcurrent(true))
+		if err != nil {
+			e.err = err
+			return
+		}
+		if _, err := diva.WorkloadContext(ctx, wl).Run(m, nil); err != nil {
+			e.err = err
+			return
+		}
+		snap, err := m.Snapshot()
+		if err != nil {
+			e.err = err
+			return
+		}
+		if err := s.store.Save(handle, n, snap); err != nil {
+			e.err = err
+			return
+		}
+		// Pin the resolved shard count, as Save does on disk, so run
+		// requests merge against exactly what a restarted server would
+		// load.
+		n.Shards = m.Shards()
+		e.sp, e.snap = n, snap
+	})
+	if e.err != nil {
+		s.snaps.drop(key)
+		return nil, e.err
+	}
+	return e, nil
 }
 
 func (c *snapCache) touch(key string) {

@@ -29,6 +29,16 @@ func post(t *testing.T, ts *httptest.Server, doc string) (*http.Response, []byte
 	return resp, buf.Bytes()
 }
 
+// mustServer builds a server or fails the test.
+func mustServer(t *testing.T, o Options) *Server {
+	t.Helper()
+	s, err := New(o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func runDoc(seed uint64) string {
 	return fmt.Sprintf(`{"rows":4,"cols":4,"strategy":"at4","seed":%d,
 		"workload":{"name":"bitonic","keys":8,"check":true}}`, seed)
@@ -37,7 +47,7 @@ func runDoc(seed uint64) string {
 // TestRunEndpoint pins the happy path: a valid spec returns the simulated
 // result with a fingerprint.
 func TestRunEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
+	ts := httptest.NewServer(mustServer(t, Options{Workers: 2}).Handler())
 	defer ts.Close()
 
 	resp, body := post(t, ts, runDoc(1))
@@ -67,7 +77,7 @@ func TestRunEndpoint(t *testing.T) {
 // queries run sequentially.
 func TestConcurrentMatchesSequential(t *testing.T) {
 	const clients = 64
-	ts := httptest.NewServer(New(Options{Workers: 8, Queue: clients}).Handler())
+	ts := httptest.NewServer(mustServer(t, Options{Workers: 8, Queue: clients}).Handler())
 	defer ts.Close()
 
 	// Sequential baseline: one response per distinct seed.
@@ -123,7 +133,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 // TestSaturation429 pins the admission control: with one worker and a
 // queue of one, a third concurrent request is shed with 429.
 func TestSaturation429(t *testing.T) {
-	srv := New(Options{Workers: 1, Queue: 1})
+	srv := mustServer(t, Options{Workers: 1, Queue: 1})
 	hold := make(chan struct{})
 	entered := make(chan struct{}, 8)
 	srv.gate = func() {
@@ -220,7 +230,7 @@ func TestSaturation429(t *testing.T) {
 // TestValidationErrors pins the 400 surface: unknown fields and invalid
 // specs are rejected with the per-field breakdown.
 func TestValidationErrors(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}).Handler())
+	ts := httptest.NewServer(mustServer(t, Options{}).Handler())
 	defer ts.Close()
 
 	resp, body := post(t, ts, `{"workload":{"name":"matmul"},"bogus":1}`)
@@ -263,7 +273,7 @@ func TestValidationErrors(t *testing.T) {
 
 // TestRegistriesEndpoint pins the introspection surface.
 func TestRegistriesEndpoint(t *testing.T) {
-	ts := httptest.NewServer(New(Options{}).Handler())
+	ts := httptest.NewServer(mustServer(t, Options{}).Handler())
 	defer ts.Close()
 	resp, err := ts.Client().Get(ts.URL + "/v1/registries")
 	if err != nil {
@@ -299,7 +309,7 @@ func TestRegistriesEndpoint(t *testing.T) {
 // TestSnapshotCacheSharing pins that specs differing only in workload
 // share one base machine snapshot.
 func TestSnapshotCacheSharing(t *testing.T) {
-	srv := New(Options{Workers: 2})
+	srv := mustServer(t, Options{Workers: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	docs := []string{

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCancelMidRun: a flag set from inside an event callback stops the run
+// at the next checkpoint — deterministically, since the checkpoint period
+// is in executed events — kills the parked processes, and surfaces the
+// typed error.
+func TestCancelMidRun(t *testing.T) {
+	k := New()
+	flag := new(atomic.Bool)
+	k.SetCancel(flag)
+	total := 8 * cancelCheckEvery
+	ran := 0
+	for i := 0; i < total; i++ {
+		k.At(Time(i+1), func() { ran++ })
+	}
+	k.At(0.5, func() { flag.Store(true) })
+	k.Spawn("parked", func(p *Proc) { NewFuture().Await(p) }) // would deadlock if not canceled
+	err := k.Run()
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run() = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("errors.Is(%v, ErrCanceled) = false", err)
+	}
+	if ran == 0 || ran >= total {
+		t.Fatalf("ran %d of %d events; want a strict mid-run stop", ran, total)
+	}
+	if ce.Events == 0 || ce.Events > uint64(total)+2 {
+		t.Fatalf("CanceledError.Events = %d", ce.Events)
+	}
+	for _, p := range k.procs {
+		if !p.done {
+			t.Fatalf("process %s still live after cancellation", p.name)
+		}
+	}
+}
+
+// TestCancelBeforeRun: an already-set flag (an expired deadline) stops the
+// run before the first event.
+func TestCancelBeforeRun(t *testing.T) {
+	k := New()
+	flag := new(atomic.Bool)
+	flag.Store(true)
+	k.SetCancel(flag)
+	ran := false
+	k.At(1, func() { ran = true })
+	err := k.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run() = %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Fatal("event executed despite pre-run cancellation")
+	}
+	if _, err := k.SnapshotState(); err == nil {
+		t.Fatal("a canceled kernel must not be capturable")
+	}
+}
+
+// TestCancelUnsetIsFree: with no flag installed the run completes exactly
+// as before (the checkpoint is dormant).
+func TestCancelUnsetIsFree(t *testing.T) {
+	k := New()
+	ran := 0
+	for i := 0; i < 2*cancelCheckEvery; i++ {
+		k.At(Time(i+1), func() { ran++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2*cancelCheckEvery {
+		t.Fatalf("ran %d events, want %d", ran, 2*cancelCheckEvery)
+	}
+}
+
+// TestClusterCancel: the shared flag stops a 2-shard cluster — pre-run at
+// the coordinator's between-window checkpoint, and mid-run through a shard
+// kernel's in-window checkpoint — with processes on both shards killed.
+func TestClusterCancel(t *testing.T) {
+	for _, pre := range []bool{true, false} {
+		cl := newTestCluster(t)
+		ks := cl.Kernels()
+		flag := new(atomic.Bool)
+		ks[0].SetCancel(flag)
+		if pre {
+			flag.Store(true)
+		}
+		for i, k := range ks {
+			i := i
+			k.Spawn("worker", func(p *Proc) {
+				for j := 0; j < 4*cancelCheckEvery; j++ {
+					p.Wait(Time(1 + (i+j)%3))
+				}
+			})
+		}
+		if !pre {
+			ks[0].At(2, func() { flag.Store(true) })
+		}
+		err := ks[0].Run()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("pre=%v: Run() = %v, want ErrCanceled", pre, err)
+		}
+		var ce *CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("pre=%v: Run() = %v, want *CanceledError", pre, err)
+		}
+		for _, k := range ks {
+			for _, p := range k.procs {
+				if !p.done {
+					t.Fatalf("pre=%v: process %s still live after cancellation", pre, p.name)
+				}
+			}
+		}
+		if _, err := cl.SnapshotState(); err == nil {
+			t.Fatalf("pre=%v: a canceled cluster must not be capturable", pre)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // fpGolden is the multiplier of the fingerprint hash chain (see fold).
@@ -131,6 +132,12 @@ type Cluster struct {
 	doneCh chan struct{}
 
 	stopped bool
+
+	// Cooperative cancellation (cancel.go): the flag shared with every
+	// shard kernel, checked by the coordinator between windows; canceled
+	// is set when it (or any shard's in-window checkpoint) fired.
+	cancel   *atomic.Bool
+	canceled bool
 }
 
 // NewCluster returns shards kernels coordinated under conservative
@@ -236,6 +243,13 @@ func (cl *Cluster) crossWake(k *Kernel, t Time, p *Proc) {
 // parallel; on a single-CPU host they interleave through the scheduler.
 func (cl *Cluster) Run() error {
 	for !cl.stopped {
+		if cl.cancel != nil && cl.cancel.Load() {
+			// Between-window checkpoint. stopped is set too so a canceled
+			// cluster can never pass the quiescence check and be captured.
+			cl.canceled = true
+			cl.stopped = true
+			break
+		}
 		t0 := math.Inf(1)
 		for _, k := range cl.ks {
 			if t, ok := k.minDue(); ok && t < t0 {
@@ -293,6 +307,9 @@ func (cl *Cluster) Run() error {
 		for _, k := range cl.ks {
 			if k.stopped {
 				cl.stopped = true
+			}
+			if k.canceled {
+				cl.canceled = true
 			}
 		}
 		cl.merge()
@@ -464,6 +481,10 @@ func (cl *Cluster) finish() error {
 			close(ch)
 		}
 		cl.goChs = nil
+	}
+	if cl.canceled {
+		cl.shutdown()
+		return &CanceledError{At: end, Events: k0.Stat.Events}
 	}
 	var blocked []string
 	for _, k := range cl.ks {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is simulated time in microseconds.
@@ -90,6 +91,15 @@ type Kernel struct {
 	stopped bool
 	noPin   bool
 	fp      uint64 // running hash of the executed event order
+
+	// Cooperative cancellation (cancel.go): when cancel is non-nil the
+	// loop polls it every cancelCheckEvery executed events (cancelCtr is
+	// only ever touched by the current baton holder — or the shard's own
+	// executing goroutine — so it needs no synchronization); canceled
+	// marks a run stopped by the flag rather than by Stop.
+	cancel    *atomic.Bool
+	cancelCtr uint32
+	canceled  bool
 
 	pay     []payload // callback payload slots referenced by event.slot
 	payFree []int32   // recycled payload slots
@@ -461,7 +471,17 @@ func (k *Kernel) Run() error {
 	if !k.noPin {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	}
+	if k.cancelRequested() {
+		// Canceled before the first event (e.g. an already-expired
+		// deadline): stop deterministically without executing anything.
+		k.canceled = true
+		k.stopped = true
+	}
 	k.loop(nil, false)
+	if k.canceled {
+		k.killAll()
+		return &CanceledError{At: k.now, Events: k.Stat.Events}
+	}
 	var blocked []string
 	for _, p := range k.procs {
 		if !p.done {
@@ -500,6 +520,9 @@ func (k *Kernel) loop(self *Proc, continuation bool) {
 	for k.localPending() > 0 && !k.stopped {
 		if sh := k.sh; sh != nil && sh.window && (sh.paused || sh.cl.curtail) {
 			break // window over: horizon reached, or curtailed by an injection
+		}
+		if k.cancel != nil && k.checkCancel() {
+			break // cancellation checkpoint hit; Run returns CanceledError
 		}
 		e, ok := k.next()
 		if !ok {

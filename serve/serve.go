@@ -3,17 +3,31 @@
 // simulated results and event-order fingerprints. divasim's serve mode and
 // embedders drive it identically:
 //
-//	srv := serve.New(serve.Options{Workers: 4})
+//	srv, err := serve.New(serve.Options{Workers: 4, SnapshotDir: "snapshots"})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	log.Fatal(http.ListenAndServe(":8080", srv.Handler()))
 //
-// Endpoints: POST /v1/run (Spec in, result + fingerprint out),
+// Endpoints: POST /v1/run (Spec in, result + fingerprint out; with
+// ?snapshot=<handle>, forked from a stored snapshot), POST/GET
+// /v1/snapshots (warm a machine once, persist it, answer its handle),
 // GET /v1/registries (registered strategies, topologies, workloads,
-// trees), GET /v1/healthz (liveness and admission counters).
+// trees), GET /v1/healthz (liveness, admission and hardening counters).
 //
 // Every request runs on an independent fork of a cached, snapshotted base
 // machine, so concurrent queries return bit-identical results to
 // sequential ones; beyond the worker pool and wait queue the server sheds
-// load with 429.
+// load with 429 and a queue-depth Retry-After.
+//
+// Operationally, every run is tied to its request: client disconnects and
+// deadlines (the spec's timeout_ms, capped by Options.RunTimeout) cancel
+// the simulation cooperatively at a kernel checkpoint — expired deadlines
+// answer 504 with progress diagnostics. A panicking run answers 500 and
+// leaves the worker pool healthy. Server.Drain stops admission (503 +
+// Retry-After) and waits for in-flight runs, cancelling stragglers at the
+// drain deadline. Snapshots persisted under Options.SnapshotDir are
+// crash-consistent and survive restarts (see diva/snapstore).
 package serve
 
 import iserve "diva/internal/serve"
@@ -22,14 +36,19 @@ import iserve "diva/internal/serve"
 type Server = iserve.Server
 
 // Options configures a Server; zero values select the defaults
-// (4 workers, a wait queue of 2×workers, 8 cached machine snapshots).
+// (4 workers, a wait queue of 2×workers, 8 cached machine snapshots, no
+// snapshot directory, no server-side run timeout).
 type Options = iserve.Options
 
 // RunResponse is the /v1/run answer.
 type RunResponse = iserve.RunResponse
 
+// SnapshotResponse is the POST /v1/snapshots answer.
+type SnapshotResponse = iserve.SnapshotResponse
+
 // Cong is the congestion summary inside a RunResponse.
 type Cong = iserve.Cong
 
-// New returns a server with the given options.
-func New(o Options) *Server { return iserve.New(o) }
+// New returns a server with the given options. It fails only when
+// Options.SnapshotDir is set but unusable.
+func New(o Options) (*Server, error) { return iserve.New(o) }

@@ -1,0 +1,295 @@
+// Disk A/B tests for the snapshot store: a snapshot saved to disk, loaded
+// back — through a fresh Store, as after a process restart — and forked
+// must replay the query workload bit-identically to a fork of the live
+// snapshot, across the topology × strategy matrix, under kernel sharding,
+// with bounded caches, and with pointer-heavy variable payloads
+// (Barnes-Hut). Plus the crash-consistency format checks: checksum,
+// truncation, stray temp files.
+package snapstore_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"diva"
+	"diva/snapstore"
+	"diva/spec"
+)
+
+// traj is one run's observable trajectory after the query workload.
+type traj struct {
+	fingerprint uint64
+	events      uint64
+	elapsedUS   float64
+	congMax     uint64
+	congTotal   uint64
+	sendMsgs    uint64
+	sendBytes   uint64
+	evictions   uint64
+	verified    bool
+}
+
+func capture(t *testing.T, m *diva.Machine, res diva.Result) traj {
+	t.Helper()
+	c := m.Net.Congestion(nil)
+	msgs, bytes := m.Net.SendStats()
+	var sm, sb uint64
+	for k := range msgs {
+		sm += msgs[k]
+		sb += bytes[k]
+	}
+	return traj{
+		fingerprint: m.K.Fingerprint(),
+		events:      m.K.Stat.Events,
+		elapsedUS:   res.ElapsedUS,
+		congMax:     c.MaxMsgs,
+		congTotal:   c.TotalMsgs,
+		sendMsgs:    sm,
+		sendBytes:   sb,
+		evictions:   diva.TotalEvictions(m),
+		verified:    res.Verified,
+	}
+}
+
+func mustRun(t *testing.T, m *diva.Machine, w diva.Workload) diva.Result {
+	t.Helper()
+	res, err := w.Run(m, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	return res
+}
+
+func forkQuery(t *testing.T, snap *diva.Snapshot, query diva.Workload) traj {
+	t.Helper()
+	f, err := diva.Fork(snap, diva.ForkConcurrent(true))
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	return capture(t, f, mustRun(t, f, query))
+}
+
+// checkDiskAB pins the store contract for one cell: warm a machine from
+// sp, snapshot it, and compare a fork of the live snapshot against a fork
+// of the snapshot after a save/load round trip through a fresh Store
+// instance (a process restart in miniature).
+func checkDiskAB(t *testing.T, sp spec.Spec, query diva.Workload) {
+	t.Helper()
+	m, warm, err := diva.FromSpec(sp, diva.WithConcurrent(true))
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	mustRun(t, m, warm)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	base := forkQuery(t, snap, query)
+	if base.fingerprint == 0 {
+		t.Fatal("no fingerprint collected")
+	}
+
+	dir := t.TempDir()
+	st, err := snapstore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	handle := snapstore.Handle(sp)
+	if err := st.Save(handle, sp, snap); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	// A fresh Store on the same directory stands in for a restarted
+	// process: nothing survives but the file.
+	st2, err := snapstore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	spLoaded, snap2, err := st2.Load(handle, diva.WithConcurrent(true))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := forkQuery(t, snap2, query); got != base {
+		t.Errorf("fork from disk diverged from fork from live snapshot:\n disk: %+v\n live: %+v", got, base)
+	}
+
+	// The stored spec pins the resolved shard count, so a reload in any
+	// environment rebuilds the same machine shape.
+	wantShards := sp.Normalized().Shards
+	if wantShards == 0 {
+		wantShards = 1
+	}
+	if spLoaded.Shards != wantShards {
+		t.Errorf("stored spec has shards=%d, want %d", spLoaded.Shards, wantShards)
+	}
+
+	// Saving the same snapshot again replaces the file atomically and
+	// loads identically.
+	if err := st2.Save(handle, sp, snap); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	if _, snap3, err := st2.Load(handle, diva.WithConcurrent(true)); err != nil {
+		t.Fatalf("re-Load: %v", err)
+	} else if got := forkQuery(t, snap3, query); got != base {
+		t.Errorf("fork after re-save diverged:\n disk: %+v\n live: %+v", got, base)
+	}
+}
+
+func machineSpec(topo, strat string, rows, cols int) spec.Spec {
+	return spec.Spec{Topology: topo, Rows: rows, Cols: cols, Strategy: strat, Seed: 1999}
+}
+
+// TestDiskABDSM is the disk round-trip matrix over topology × strategy
+// cells, mirroring the live fork A/B matrix.
+func TestDiskABDSM(t *testing.T) {
+	cells := []struct{ topo, strat string }{
+		{"mesh", "at4"},
+		{"torus", "fixedhome"},
+		{"hypercube", "at2"},
+		{"fattree", "at4k8"},
+	}
+	query := diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2})
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.topo+"/"+cell.strat, func(t *testing.T) {
+			sp := machineSpec(cell.topo, cell.strat, 8, 8)
+			sp.Workload = spec.Workload{Name: "matmul", Block: 64, Seed: 1}
+			checkDiskAB(t, sp, query)
+		})
+	}
+}
+
+// TestDiskABHandOpt pins the disk round trip on strategy-free machines
+// under kernel sharding: the wire form carries the full cluster state.
+func TestDiskABHandOpt(t *testing.T) {
+	query := diva.BitonicHandOpt(diva.BitonicConfig{KeysPerProc: 32, Check: true, Seed: 9})
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sp := spec.Spec{Topology: "mesh", Rows: 8, Cols: 8, Tree: "2-ary", Seed: 1999, Shards: shards}
+			sp.Workload = spec.Workload{Name: "stencil", Iters: 3, Halo: 32, Compute: true, Check: true, Seed: 7}
+			checkDiskAB(t, sp, query)
+		})
+	}
+}
+
+// TestDiskABBoundedCache pins the disk round trip with a bounded cache:
+// the entry set and eviction counters survive serialization.
+func TestDiskABBoundedCache(t *testing.T) {
+	sp := machineSpec("mesh", "at4", 4, 4)
+	sp.CacheCapacity = 2048
+	sp.Workload = spec.Workload{Name: "matmul", Block: 64, Seed: 1}
+	checkDiskAB(t, sp, diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2}))
+}
+
+// TestDiskABBarnesHut exercises pointer-heavy variable payloads (bodies,
+// tree cells, the root record) through the gob boundary.
+func TestDiskABBarnesHut(t *testing.T) {
+	sp := machineSpec("mesh", "at4", 4, 4)
+	sp.Workload = spec.Workload{Name: "barneshut", Bodies: 32, Steps: 2, MeasureFrom: 1}
+	checkDiskAB(t, sp, diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2}))
+}
+
+// TestHandleStability pins the handle derivation: operational fields
+// (timeout) do not change identity, machine fields do.
+func TestHandleStability(t *testing.T) {
+	sp := machineSpec("mesh", "at4", 8, 8)
+	sp.Workload = spec.Workload{Name: "matmul", Block: 64, Seed: 1}
+	h := snapstore.Handle(sp)
+	if len(h) != 16 {
+		t.Fatalf("Handle = %q, want 16 hex digits", h)
+	}
+	withTimeout := sp
+	withTimeout.TimeoutMS = 5000
+	if got := snapstore.Handle(withTimeout); got != h {
+		t.Errorf("timeout changed the handle: %q vs %q", got, h)
+	}
+	otherSeed := sp
+	otherSeed.Seed = 2000
+	if got := snapstore.Handle(otherSeed); got == h {
+		t.Errorf("seed change did not change the handle: both %q", h)
+	}
+}
+
+// TestLoadRejectsCorruption pins the crash-consistency checks: a flipped
+// byte, a truncated file and a bad handle all fail loudly; stray temp
+// files are invisible to List.
+func TestLoadRejectsCorruption(t *testing.T) {
+	sp := machineSpec("mesh", "at4", 4, 4)
+	sp.Workload = spec.Workload{Name: "matmul", Block: 64, Seed: 1}
+	m, warm, err := diva.FromSpec(sp, diva.WithConcurrent(true))
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	mustRun(t, m, warm)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	dir := t.TempDir()
+	st, err := snapstore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	handle := snapstore.Handle(sp)
+	if err := st.Save(handle, sp, snap); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(dir, handle+".snap")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte mid-file: checksum mismatch.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(handle); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted file loaded: err = %v, want checksum mismatch", err)
+	}
+
+	// Truncate: a torn write must not decode.
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(handle); err == nil {
+		t.Error("truncated file loaded")
+	}
+
+	// Restore and confirm the original still loads.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(handle, diva.WithConcurrent(true)); err != nil {
+		t.Errorf("pristine file failed to load: %v", err)
+	}
+
+	// Handles are validated before touching the filesystem.
+	if _, _, err := st.Load("../escape"); err == nil {
+		t.Error("path-traversal handle accepted")
+	}
+	if _, _, err := st.Load("0123456789abcdeF"); err == nil {
+		t.Error("non-canonical handle accepted")
+	}
+
+	// A stray temp file (crash mid-save) is skipped by List.
+	if err := os.WriteFile(filepath.Join(dir, "."+handle+".tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Handle != handle {
+		t.Errorf("List = %+v, want exactly [%s]", entries, handle)
+	}
+	if entries[0].Spec.Workload.Name != "matmul" {
+		t.Errorf("List entry spec lost the workload: %+v", entries[0].Spec)
+	}
+}

@@ -55,6 +55,13 @@ type Spec struct {
 	// Fault injects link outages and node churn into the run; nil means a
 	// fault-free machine (the exact pre-fault code path).
 	Fault *Fault `json:"fault,omitempty"`
+	// TimeoutMS bounds the run's wall-clock time in milliseconds: when it
+	// expires the simulation is canceled cooperatively at the kernel's
+	// next checkpoint (diva.ErrCanceled; the service answers 504). 0 means
+	// no per-run bound. The timeout is operational, not part of the
+	// machine description — two specs differing only in timeout_ms
+	// describe the same machine and the same simulated run.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Workload selects the application and its knobs.
 	Workload Workload `json:"workload"`
 }
@@ -325,6 +332,9 @@ func (s Spec) machineErrors() []FieldError {
 	}
 	if s.CacheCapacity < 0 {
 		errs = append(errs, FieldError{"cache_capacity", fmt.Sprintf("must be non-negative, got %d", s.CacheCapacity)})
+	}
+	if s.TimeoutMS < 0 {
+		errs = append(errs, FieldError{"timeout_ms", fmt.Sprintf("must be non-negative, got %d", s.TimeoutMS)})
 	}
 	if f := s.Fault; f != nil {
 		if len(f.Events) == 0 && f.LinkFailures == 0 && f.NodeChurn == 0 {
