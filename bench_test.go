@@ -286,6 +286,46 @@ func benchGraphRoute(b *testing.B, faulty bool) {
 func BenchmarkGraphRouteHealthy(b *testing.B)  { benchGraphRoute(b, false) }
 func BenchmarkGraphRouteRerouted(b *testing.B) { benchGraphRoute(b, true) }
 
+// --- Reactive transport ---
+
+// benchReactiveTransport measures a ping-pong message cycle between two
+// corner nodes of an 8x8 mesh with the reactive-mode reliable transport
+// on: every message is sequenced, timer-armed at the sender, acknowledged
+// at the receiver and timer-canceled on the ack — the standing per-message
+// cost of timeout-based failure detection on a healthy network. ackUS is
+// the initial retransmission timeout: comfortably above the round trip in
+// the steady variant (acks always win; the timer is pure schedule/cancel
+// overhead), below it in the storm variant, so every message is
+// retransmitted and deduplicated — the false-timeout slow path.
+func benchReactiveTransport(b *testing.B, ackUS float64) {
+	k := sim.New()
+	nw := mesh.NewNetwork(k, mesh.New(8, 8), mesh.GCelParams())
+	p := mesh.ReactParams{AckTimeoutUS: ackUS, MaxRetries: 1 << 20, Backoff: 2}
+	if err := nw.EnableReactive(p, 1999); err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	const kind = 7
+	nw.Handle(kind, func(m *mesh.Msg) {
+		n++
+		if n < b.N {
+			nw.SendPooled(m.Dst, m.Src, 64, kind, nil)
+		}
+	})
+	nw.SendPooled(0, 63, 64, kind, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	st := nw.FaultStats()
+	b.ReportMetric(float64(st.AckMsgs)/float64(b.N), "acks/msg")
+	b.ReportMetric(float64(st.Retransmits)/float64(b.N), "retransmits/msg")
+}
+
+func BenchmarkReactiveTransportSteady(b *testing.B) { benchReactiveTransport(b, 5000) }
+func BenchmarkReactiveTransportStorm(b *testing.B)  { benchReactiveTransport(b, 100) }
+
 // --- Figure 11: Barnes-Hut scaling with N = 200·P ---
 
 func BenchmarkFig11BarnesHutScale8x16AccessTree4K8(b *testing.B) {

@@ -118,6 +118,10 @@ func runMain(args []string) {
 	compute := fs.Bool("compute", false, "charge local computation costs (matmul/bitonic/stencil)")
 	check := fs.Bool("check", false, "verify the output against a sequential reference (matmul/bitonic/stencil)")
 	seed := fs.Uint64("seed", 1999, "random seed")
+	recovery := fs.String("recovery", "oracle", "fault-tolerance mode: "+strings.Join(spec.RecoveryModes(), ", "))
+	ackTimeout := fs.Float64("ack-timeout", 0, "reactive: initial retransmission timeout in simulated us (0 = default 2000)")
+	retries := fs.Int("retries", 0, "reactive: retransmissions before the strategy recovers (0 = default 5)")
+	backoff := fs.Float64("backoff", 0, "reactive: exponential backoff multiplier (0 = default 2)")
 	capacity := fs.Int("capacity", 0, "cache capacity per node in bytes (0 = unbounded)")
 	shards := fs.Int("shards", 0, "event-kernel shards for parallel execution (0 = $DIVA_SHARDS or 1; results are identical)")
 	specFile := fs.String("spec", "", "run the spec JSON document from this file instead of the flags")
@@ -174,6 +178,10 @@ func runMain(args []string) {
 			Seed:          *seed,
 			Shards:        nshards,
 			CacheCapacity: *capacity,
+			Recovery:      *recovery,
+			AckTimeoutUS:  *ackTimeout,
+			MaxRetries:    *retries,
+			Backoff:       *backoff,
 			Workload: diva.WorkloadSpec{
 				Name:        workload,
 				Block:       *block,
@@ -221,6 +229,15 @@ func runMain(args []string) {
 		st := m.Net.FaultStats()
 		fmt.Printf("faults:       %d events; availability %.0f%%, stretch %.2f, %d msgs re-routed, %d retry bytes\n",
 			len(sched), 100*st.Availability(), st.Stretch(), st.Rerouted, st.RetryBytes)
+	}
+	if m.Net.Reactive() {
+		st := m.Net.FaultStats()
+		meanDetect := 0.0
+		if st.Detected > 0 {
+			meanDetect = st.DetectUS / float64(st.Detected)
+		}
+		fmt.Printf("recovery:     reactive; %d dropped, %d retransmits, %d acks, %d detected (mean %.0f us), %d failovers, %d reissues\n",
+			st.Dropped, st.Retransmits, st.AckMsgs, st.Detected, meanDetect, st.Failovers, st.Reissues)
 	}
 	if res.Verified {
 		fmt.Printf("verified:     output matches the sequential reference\n")
@@ -281,6 +298,10 @@ func printRegistries() {
 	fmt.Printf("  %s\n", strings.Join(spec.TreeNames(), ", "))
 	fmt.Println("\nfault schedule (spec fields):")
 	for _, e := range spec.FaultFields() {
+		fmt.Printf("  %-20s %s\n", e.Name, e.Summary)
+	}
+	fmt.Println("\nrecovery (spec fields):")
+	for _, e := range spec.RecoveryFields() {
 		fmt.Printf("  %-20s %s\n", e.Name, e.Summary)
 	}
 }

@@ -29,10 +29,12 @@ func main() {
 	seed := flag.Uint64("seed", 1999, "random seed (1999: the year of the paper)")
 	workers := flag.Int("workers", 1, "number of figures to run concurrently (0: one per CPU)")
 	shards := flag.Int("shards", 0, "event-kernel shards per machine (0 = $DIVA_SHARDS or 1; figures are identical)")
+	recovery := flag.String("recovery", "oracle", "fault-tolerance mode of the faults sweep: oracle or reactive (the recovery figure always compares both)")
 	flag.Parse()
 
 	r := experiments.New(os.Stdout, *quick, *seed)
 	r.Shards = *shards
+	r.Recovery = *recovery
 	if *workers == 0 {
 		*workers = runtime.NumCPU()
 	}

@@ -197,6 +197,44 @@ func WithFaults(s fault.Schedule) Option {
 	return func(o *options) { o.cfg.Faults = append(o.cfg.Faults, s...) }
 }
 
+// The fault-tolerance modes of WithRecovery.
+const (
+	// RecoveryOracle is the default mode: the network holds in-flight
+	// messages across outages and strategies re-route instantaneously —
+	// failure knowledge is free, as if an oracle announced every fault.
+	RecoveryOracle = core.RecoveryOracle
+	// RecoveryReactive makes fault tolerance earn its keep: messages to a
+	// downed endpoint are dropped, every payload message is acknowledged,
+	// senders detect failure by retransmission timeout with deterministic
+	// exponential backoff, and after max retries the strategy recovers
+	// (fixedhome fails the home over, accesstree re-issues over the
+	// re-embedded forest). Deterministic: same seed, same run.
+	RecoveryReactive = core.RecoveryReactive
+)
+
+// WithRecovery selects the fault-tolerance mode, RecoveryOracle (the
+// default) or RecoveryReactive. The modes simulate different machines:
+// reactive runs carry ack and retransmission traffic, so their metrics
+// and fingerprints differ from oracle runs even fault-free.
+func WithRecovery(mode string) Option {
+	return func(o *options) { o.cfg.Recovery = mode }
+}
+
+// WithAckTransport tunes the reactive transport's retransmission policy:
+// the initial ack timeout in simulated microseconds (default 2000), the
+// retransmission attempts before the strategy is told to recover
+// (default 5), and the exponential backoff multiplier between attempts
+// (default 2, at least 1). Zero fields keep their defaults. It requires
+// WithRecovery(RecoveryReactive); New rejects the combination with the
+// oracle mode, where no transport exists to tune.
+func WithAckTransport(ackTimeoutUS float64, maxRetries int, backoff float64) Option {
+	return func(o *options) {
+		o.cfg.AckTimeoutUS = ackTimeoutUS
+		o.cfg.MaxRetries = maxRetries
+		o.cfg.Backoff = backoff
+	}
+}
+
 // WithFaultGen draws a randomized fault schedule (see fault.Gen) from the
 // machine RNG at construction: the same seed always yields the same
 // faults, across re-runs and forks. Composes with WithFaults; the drawn

@@ -102,6 +102,27 @@
 // the "faults" experiment sweeps strategy degradation under rising fault
 // rates on the mesh and the degraded mesh.
 //
+// Holding a message until the exact heal time is an oracle: no simulated
+// protocol ever observes the failure. WithRecovery(RecoveryReactive)
+// switches a run to reactive fault tolerance — messages crossing a
+// failure point are silently dropped, every cross-node message is
+// acknowledged, and senders detect failures by retransmission timeout
+// (WithAckTransport tunes the initial timeout, retry budget and
+// exponential backoff; timeout jitter comes from dedicated per-node RNG
+// streams derived from the run seed). After the retry budget is spent the
+// strategy recovers at the protocol level: the fixed home strategy fails
+// a dead home over to its rank-order successor, the access tree re-issues
+// over the re-embedded spanning forest; receiver-side per-channel
+// deduplication keeps both protocol-safe. Reactive runs simulate a
+// different (more faithful) machine than oracle runs, but carry the same
+// guarantees: fingerprints are identical across kernel shard counts,
+// declared-vs-drawn schedules and snapshot/fork — including forks taken
+// mid-recovery — and Network.FaultStats adds drop, ack, retransmission,
+// detection-latency, failover and re-issue counters. The default remains
+// the oracle mode; spec documents select "recovery": "reactive" with
+// ack_timeout_us, max_retries and backoff, and the "recovery" experiment
+// compares the two modes across strategies and network shapes.
+//
 // # The implementation
 //
 // The library lives under internal/ and is re-exported here by type

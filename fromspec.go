@@ -84,6 +84,12 @@ func MachineFromSpec(s Spec, extra ...Option) (*Machine, error) {
 			NoBackpressure:  p.NoBackpressure,
 		}))
 	}
+	if n.Recovery != "" {
+		opts = append(opts, WithRecovery(n.Recovery))
+		if n.Recovery == spec.RecoveryReactive {
+			opts = append(opts, WithAckTransport(n.AckTimeoutUS, n.MaxRetries, n.Backoff))
+		}
+	}
 	if f := n.Fault; f != nil {
 		if len(f.Events) > 0 {
 			sched := make(fault.Schedule, len(f.Events))

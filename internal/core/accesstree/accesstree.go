@@ -36,6 +36,7 @@ import (
 
 	"diva/internal/core"
 	"diva/internal/decomp"
+	"diva/internal/mesh"
 	"diva/internal/xrand"
 )
 
@@ -140,6 +141,26 @@ func newStrategy(m *core.Machine, o Options) *strategy {
 	net.Handle(kindLockToken, s.onLockToken)
 	net.Handle(kindRemapMove, s.onRemapMove)
 	net.Handle(kindRemapNote, s.onRemapNote)
+	if net.Reactive() {
+		// Reactive recovery: the tree embedding is fixed, so an
+		// undeliverable hop has no alternative destination — the message
+		// is re-issued on the same channel with a fresh detection cycle.
+		// By then the mesh has re-embedded its spanning forest around the
+		// failure (routes recompute lazily per topology epoch), so the
+		// re-issued hop rides the re-routed path; the transport keeps the
+		// channel sequence, so a late duplicate of the original delivery
+		// is still deduplicated. Every protocol kind recovers this way.
+		reissue := func(g *mesh.GiveUp) (int, mesh.GiveUpAction) {
+			return g.Dst, mesh.GiveUpReissue
+		}
+		for _, k := range []uint8{
+			kindReadReq, kindReadData, kindWriteReq, kindWriteData,
+			kindInval, kindAck, kindEvict, kindLockReq, kindLockToken,
+			kindRemapMove, kindRemapNote,
+		} {
+			net.OnGiveUp(k, reissue)
+		}
+	}
 	return s
 }
 

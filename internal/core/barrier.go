@@ -74,7 +74,13 @@ type barrier struct {
 	batched  uint64
 	cascaded uint64
 	aborted  uint64
-	noBatch  bool // test hook: force the cascade path
+	// noBatch forces the cascade path: set by tests, and always on a
+	// reactive-mode machine — the batched replay charges sends through the
+	// network's hold-free inline path, which has no transport (no channel
+	// sequences, no acks) and would panic on a dropped hop. The cascade
+	// sends real messages, which the reactive transport covers like any
+	// other traffic.
+	noBatch bool
 
 	// msgs/sts recycle the cascade's payload and combining records through
 	// the package's slab arenas, one per kernel shard (records acquired on
@@ -116,6 +122,7 @@ func newBarrier(m *Machine) *barrier {
 	for i := range b.state {
 		b.state[i] = make(map[barKey]*barState)
 	}
+	b.noBatch = m.Net.Reactive()
 	b.pos = m.Tree.EmbedAll(m.Tree.RandomRoot(m.RNG))
 	b.wokenAt = make([]sim.Time, m.P())
 	for i := range b.wokenAt {

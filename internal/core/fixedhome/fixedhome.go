@@ -55,6 +55,10 @@ const (
 type strategy struct {
 	m   *core.Machine
 	rng *xrand.RNG
+	// react mirrors the machine's reactive-recovery mode: the protocol
+	// handlers tolerate the duplicate deliveries a strategy-level redirect
+	// can produce (see recovery.go) instead of treating them as bugs.
+	react bool
 	// txns arena-allocates transaction records in slabs, each record next
 	// to its future (a core.TxnArena, shared machinery with accesstree).
 	txns core.TxnArena[req]
@@ -79,7 +83,14 @@ func (s *strategy) acquireReq(v *core.Variable, from int) *req {
 
 // releaseReq recycles a completed transaction record. Safe only after the
 // requester's Await returned: no message or event references it anymore.
+// In reactive mode that premise fails — a redirected request can still be
+// delivered (and dispatched to a handler) after the transaction completed
+// through the redirect — so records are never recycled there: leaking them
+// in the arena is what makes the late reference safe.
 func (s *strategy) releaseReq(r *req) {
+	if s.react {
+		return
+	}
 	r.v = nil
 	r.write = false
 	r.val = nil
@@ -101,6 +112,10 @@ func newStrategy(m *core.Machine) *strategy {
 	net.Handle(kindLockGrant, s.onLockGrant)
 	net.Handle(kindLockRel, s.onLockRel)
 	net.Handle(kindEvictNote, func(*mesh.Msg) {}) // directory already updated
+	if net.Reactive() {
+		s.react = true
+		s.enableRecovery()
+	}
 	return s
 }
 
@@ -171,6 +186,17 @@ func (s *strategy) Read(p *core.Proc, v *core.Variable) interface{} {
 func (s *strategy) onReadReq(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	vs := vstate(r.v)
+	if s.react {
+		if r.fut.Done() {
+			return // late duplicate of a completed transaction
+		}
+		if m.Dst != vs.home {
+			// The variable failed over while this request was in flight:
+			// the old home forwards it to the current one.
+			s.m.Net.SendPooled(m.Dst, vs.home, m.Size, m.Kind, r)
+			return
+		}
+	}
 	if _, ok := vs.holders[vs.home]; ok || vs.owner == vs.home {
 		s.replyData(r)
 		return
@@ -184,7 +210,14 @@ func (s *strategy) onReadReq(m *mesh.Msg) {
 func (s *strategy) onFetch(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	vs := vstate(r.v)
-	// The owner keeps its copy valid; the home becomes a holder too.
+	if s.react && r.fut.Done() {
+		return // stale fetch: a give-up already answered this read
+	}
+	// The owner keeps its copy valid; the home becomes a holder too. When
+	// ownership moved while this fetch was in flight (a concurrent read's
+	// fetch completed first, or a give-up reclaimed a dead owner), vs.owner
+	// already points at the home and the data hop is home-local — exactly
+	// how the oracle mode serves fetch pile-ups.
 	s.m.Net.SendPooled(vs.owner, vs.home, core.DataBytes(r.v.Size), kindFetchData, r)
 }
 
@@ -207,6 +240,9 @@ func (s *strategy) replyData(r *req) {
 func (s *strategy) onData(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	vs := vstate(r.v)
+	if s.react && r.fut.Done() {
+		return // duplicate reply via a redirected request
+	}
 	vs.holders[r.from] = struct{}{}
 	r.v.SetLocal(r.from)
 	s.cacheInsert(r.v, r.from)
@@ -235,6 +271,15 @@ func (s *strategy) Write(p *core.Proc, v *core.Variable, val interface{}) {
 func (s *strategy) onWriteReq(m *mesh.Msg) {
 	r := m.Payload.(*req)
 	vs := vstate(r.v)
+	if s.react {
+		if r.fut.Done() || (vs.pending != nil && vs.pending.req == r) {
+			return // late duplicate: done, or its invalidations are in flight
+		}
+		if m.Dst != vs.home {
+			s.m.Net.SendPooled(m.Dst, vs.home, m.Size, m.Kind, r)
+			return
+		}
+	}
 	targets := make([]int, 0, len(vs.holders))
 	for h := range vs.holders {
 		if h != r.from {
@@ -263,6 +308,11 @@ func (s *strategy) onAck(m *mesh.Msg) {
 	vs := vstate(r.v)
 	w := vs.pending
 	if w == nil || w.req != r {
+		if s.react {
+			// A real ack racing an emulated one (invalGiveUp), or the ack
+			// of an invalidation wave a redirect already completed.
+			return
+		}
 		panic("fixedhome: stray invalidation ack")
 	}
 	w.n--
@@ -290,6 +340,9 @@ func (s *strategy) finishWrite(r *req) {
 
 func (s *strategy) onGrant(m *mesh.Msg) {
 	r := m.Payload.(*req)
+	if s.react && r.fut.Done() {
+		return // duplicate grant via a redirected request
+	}
 	r.v.Data = r.val
 	s.cacheInsert(r.v, r.from)
 	r.fut.Complete(s.m.K, nil)

@@ -14,7 +14,11 @@ import (
 type lockState struct {
 	held  bool
 	owner int
-	queue []int
+	// holder is the home's view of who the lock is granted to (-1 when
+	// free): the reactive-mode duplicate guards key on it — a redirected
+	// request or release can be delivered twice, once per channel.
+	holder int
+	queue  []int
 	// waiting maps a requesting processor to its blocked process future.
 	waiting map[int]*sim.Future
 }
@@ -27,7 +31,7 @@ type lockMsg struct {
 func (s *strategy) lockOf(v *core.Variable) *lockState {
 	vs := vstate(v)
 	if vs.lock == nil {
-		vs.lock = &lockState{owner: -1, waiting: make(map[int]*sim.Future)}
+		vs.lock = &lockState{owner: -1, holder: -1, waiting: make(map[int]*sim.Future)}
 	}
 	return vs.lock
 }
@@ -52,6 +56,21 @@ func (s *strategy) Lock(p *core.Proc, v *core.Variable) {
 func (s *strategy) onLockReq(m *mesh.Msg) {
 	lm := m.Payload.(*lockMsg)
 	ls := s.lockOf(lm.v)
+	if s.react {
+		if m.Dst != vstate(lm.v).home {
+			// The lock manager failed over: forward to the current home.
+			s.m.Net.SendPooled(m.Dst, vstate(lm.v).home, m.Size, m.Kind, lm)
+			return
+		}
+		if ls.held && ls.holder == lm.from {
+			return // duplicate of the request that holds the lock
+		}
+		for _, q := range ls.queue {
+			if q == lm.from {
+				return // duplicate of an already-queued request
+			}
+		}
+	}
 	if ls.held {
 		ls.queue = append(ls.queue, lm.from)
 		return
@@ -61,6 +80,7 @@ func (s *strategy) onLockReq(m *mesh.Msg) {
 }
 
 func (s *strategy) grantLock(v *core.Variable, to int) {
+	s.lockOf(v).holder = to
 	s.m.Net.Send(&mesh.Msg{
 		Src: vstate(v).home, Dst: to,
 		Size: core.LockBytes, Kind: kindLockGrant,
@@ -73,6 +93,9 @@ func (s *strategy) onLockGrant(m *mesh.Msg) {
 	ls := s.lockOf(lm.v)
 	f := ls.waiting[lm.from]
 	if f == nil {
+		if s.react {
+			return // duplicate grant via a redirected request
+		}
 		panic("fixedhome: lock granted to a non-waiter")
 	}
 	delete(ls.waiting, lm.from)
@@ -96,6 +119,15 @@ func (s *strategy) Unlock(p *core.Proc, v *core.Variable) {
 func (s *strategy) onLockRel(m *mesh.Msg) {
 	lm := m.Payload.(*lockMsg)
 	ls := s.lockOf(lm.v)
+	if s.react {
+		if m.Dst != vstate(lm.v).home {
+			s.m.Net.SendPooled(m.Dst, vstate(lm.v).home, m.Size, m.Kind, lm)
+			return
+		}
+		if !ls.held || ls.holder != lm.from {
+			return // duplicate release: the lock already moved on
+		}
+	}
 	if !ls.held {
 		panic("fixedhome: release of a free lock")
 	}
@@ -106,4 +138,5 @@ func (s *strategy) onLockRel(m *mesh.Msg) {
 		return
 	}
 	ls.held = false
+	ls.holder = -1
 }

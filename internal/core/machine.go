@@ -104,7 +104,32 @@ type Config struct {
 	Faults mesh.FaultSchedule
 	// FaultGen draws additional randomized faults from a seed-derived RNG.
 	FaultGen *mesh.FaultGen
+	// Recovery selects how the machine tolerates faults. "" or
+	// RecoveryOracle is the default oracle mode: undeliverable messages
+	// consult global link state and are held until the exact heal time —
+	// no simulated protocol ever observes a failure, and every fault-free
+	// run is on the exact pre-fault code path. RecoveryReactive switches
+	// the network to lossy delivery with the ack/retransmit transport:
+	// messages crossing a failure point are dropped, failures are detected
+	// by ack timeouts, and the strategies recover at the protocol level
+	// (fixedhome home failover, accesstree re-issue). Reactive runs are
+	// deterministic — fingerprint-identical across shard counts and
+	// fork/restore — but simulate a different (more faithful) machine than
+	// oracle runs.
+	Recovery string
+	// AckTimeoutUS, MaxRetries and Backoff tune the reactive transport
+	// (zero values take mesh.DefaultReactParams); setting any of them with
+	// oracle recovery is a configuration error.
+	AckTimeoutUS float64
+	MaxRetries   int
+	Backoff      float64
 }
+
+// Recovery modes for Config.Recovery.
+const (
+	RecoveryOracle   = "oracle"
+	RecoveryReactive = "reactive"
+)
 
 // Machine is a simulated parallel machine running the DIVA library.
 type Machine struct {
@@ -166,6 +191,27 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("diva: shard count must be non-negative, have %d", cfg.Shards)
+	}
+	switch cfg.Recovery {
+	case "", RecoveryOracle:
+		if cfg.AckTimeoutUS != 0 || cfg.MaxRetries != 0 || cfg.Backoff != 0 {
+			return nil, fmt.Errorf("diva: reactive transport parameters (ack timeout, max retries, backoff) require recovery %q", RecoveryReactive)
+		}
+	case RecoveryReactive:
+		// Fill the unset transport parameters from the defaults now, so the
+		// pinned fork config and a declared-back spec replay identically.
+		def := mesh.DefaultReactParams()
+		if cfg.AckTimeoutUS == 0 {
+			cfg.AckTimeoutUS = def.AckTimeoutUS
+		}
+		if cfg.MaxRetries == 0 {
+			cfg.MaxRetries = def.MaxRetries
+		}
+		if cfg.Backoff == 0 {
+			cfg.Backoff = def.Backoff
+		}
+	default:
+		return nil, fmt.Errorf("diva: unknown recovery mode %q (want %q or %q)", cfg.Recovery, RecoveryOracle, RecoveryReactive)
 	}
 	shards := cfg.Shards
 	if shards == 0 {
@@ -239,6 +285,16 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	if len(sched) > 0 {
 		if err := m.Net.InstallFaults(sched); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Recovery == RecoveryReactive {
+		// The transport seed is split off the run seed under a private salt
+		// (the fault-draw pattern): per-node jitter streams never touch the
+		// machine RNG, so oracle and reactive runs of the same seed share
+		// every other random draw.
+		p := mesh.ReactParams{AckTimeoutUS: cfg.AckTimeoutUS, MaxRetries: cfg.MaxRetries, Backoff: cfg.Backoff}
+		if err := m.Net.EnableReactive(p, cfg.Seed^reactSalt); err != nil {
 			return nil, err
 		}
 	}

@@ -62,9 +62,11 @@ type Forker interface {
 // streams are further split off per strategy. faultSalt splits off the
 // fault-schedule draw entirely — it must not advance the machine RNG, or a
 // machine given the drawn schedule explicitly would diverge.
+// reactSalt splits off the reactive transport's jitter streams the same way.
 const (
 	seedSalt  = 0xd1b54a32d192ed03
 	faultSalt = 0x9e6c63d0876a9a35
+	reactSalt = 0xc2b2ae3d27d4eb4f
 )
 
 // Snapshot is a deep copy of a quiescent machine's simulated state.
@@ -272,6 +274,7 @@ func (s *Snapshot) Fork(o ForkOptions) (*Machine, error) {
 	}
 	if o.Reseed {
 		m.RNG = xrand.New(o.Seed ^ seedSalt)
+		m.Net.ReactReseed(o.Seed ^ reactSalt)
 		if s.strat != nil {
 			m.Strat.(Forker).Reseed(o.Seed)
 		}

@@ -259,6 +259,40 @@ func TestFaultsSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestRecoverySweepDeterministic: the oracle-vs-reactive recovery sweep
+// must emit byte-identical output whether its cells run sequentially or
+// fanned out across the worker pool, and the quick-mode output at the
+// canonical seed is pinned by a golden fingerprint: a change here means
+// the simulated recovery results changed, not just the formatting.
+func TestRecoverySweepDeterministic(t *testing.T) {
+	var seq bytes.Buffer
+	rs := New(&seq, true, 1999)
+	if err := rs.Run("recovery"); err != nil {
+		t.Fatal(err)
+	}
+	var par bytes.Buffer
+	rp := New(&par, true, 1999)
+	rp.Workers = 4
+	if err := rp.Run("recovery"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("parallel sweep output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+			seq.String(), par.String())
+	}
+	out := seq.String()
+	for _, want := range []string{"oracle", "reactive", "graph:degraded", "fixedhome", "at4", "failover+reissue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+	// Golden fingerprint of the quick-mode sweep at seed 1999 (FNV-1a).
+	const golden = uint64(0xe9ff992a6218df5a)
+	if got := fnv1a(seq.Bytes()); got != golden {
+		t.Errorf("sweep output fingerprint = %#x, want %#x (simulated results changed)", got, golden)
+	}
+}
+
 // TestFig8InFigureFanOut: the Figure 8 five-strategy Barnes-Hut sweep must
 // emit byte-identical output whether its (strategy, N) cells run
 // sequentially or fanned out across the worker pool, and the quick-mode

@@ -40,9 +40,11 @@ type faultCell struct {
 	stats   mesh.FaultStats
 }
 
-// runFaultCell runs the DSM matrix square for one degradation cell.
+// runFaultCell runs the DSM matrix square for one degradation cell. The
+// runner's Recovery field selects the fault-tolerance mode (default
+// oracle; "reactive" repeats the sweep with timeout-based detection).
 func (r *Runner) runFaultCell(topo string, side int, rate faultRate, strat string, concurrent bool) (faultCell, error) {
-	m, err := diva.New(
+	opts := []diva.Option{
 		diva.WithTopologyName(topo, side, side),
 		diva.WithSeed(r.Seed),
 		diva.WithStrategyName(strat),
@@ -52,7 +54,11 @@ func (r *Runner) runFaultCell(topo string, side int, rate faultRate, strat strin
 			LinkFailures: rate.links, NodeChurn: rate.churn,
 			MeanDownUS: 20000, HorizonUS: 100000,
 		}),
-	)
+	}
+	if r.Recovery != "" && r.Recovery != diva.RecoveryOracle {
+		opts = append(opts, diva.WithRecovery(r.Recovery))
+	}
+	m, err := diva.New(opts...)
 	if err != nil {
 		return faultCell{}, err
 	}

@@ -48,6 +48,11 @@ type Runner struct {
 	// to diva.WithShards (0 reads $DIVA_SHARDS; figures are identical for
 	// every count).
 	Shards int
+	// Recovery selects the fault-tolerance mode of the degradation sweep's
+	// machines ("" or "oracle": the default oracle mode; "reactive": the
+	// timeout-based mode with its default transport tuning). The dedicated
+	// "recovery" figure always compares both modes and ignores this.
+	Recovery string
 
 	// pool is the shared slot pool (created on first parallel use and
 	// inherited by worker clones); holding marks a clone whose figure
@@ -122,7 +127,7 @@ func New(w io.Writer, quick bool, seed uint64) *Runner {
 
 // Figures lists the available experiment names in order.
 var Figures = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11",
-	"topologies", "faults",
+	"topologies", "faults", "recovery",
 	"ablation-embed", "ablation-arity", "ablation-remap", "ablation-replacement"}
 
 // Run executes one figure by name.
@@ -154,6 +159,8 @@ func (r *Runner) Run(name string) error {
 		return r.FigTopologies()
 	case "faults":
 		return r.FigFaults()
+	case "recovery":
+		return r.FigRecovery()
 	case "ablation-embed":
 		return r.AblationEmbedding()
 	case "ablation-arity":
@@ -207,7 +214,8 @@ func (r *Runner) runParallel(names []string) error {
 			// rows.
 			sub := &Runner{
 				W: &results[i].buf, Quick: r.Quick, Seed: r.Seed,
-				Workers: r.Workers, Shards: r.Shards, pool: r.pool, holding: true,
+				Workers: r.Workers, Shards: r.Shards, Recovery: r.Recovery,
+				pool: r.pool, holding: true,
 				concurrent: true, bhCache: r.bhCache,
 			}
 			results[i].err = sub.Run(f)

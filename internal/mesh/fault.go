@@ -165,30 +165,122 @@ type FaultStats struct {
 	RetryMsgs  uint64
 	RetryBytes uint64
 	HeldUS     float64
+
+	// Reactive-mode counters (reactive.go); all zero in oracle mode.
+	// Dropped counts messages that vanished at a failure point instead of
+	// being oracle-held; the transport counters account the recovery
+	// traffic (acks, retransmissions, duplicates discarded at receivers,
+	// retransmissions the receiver had in fact already seen); the
+	// detection counters measure the failure detector: Detected counts
+	// give-up declarations (DetectUS the summed latency from first
+	// transmission to declaration), Recovered counts suspects later
+	// acknowledged again (RecoverUS the summed suspicion time), Failovers
+	// counts give-ups redirected to a new destination and Reissues
+	// give-ups restarted by a strategy after refreshing its own state.
+	Dropped         uint64
+	DroppedBytes    uint64
+	AckMsgs         uint64
+	AckBytes        uint64
+	Retransmits     uint64
+	RetransmitBytes uint64
+	DupDrops        uint64
+	FalseTimeouts   uint64
+	Detected        uint64
+	DetectUS        float64
+	Recovered       uint64
+	RecoverUS       float64
+	Failovers       uint64
+	Reissues        uint64
 }
 
 // Sub returns s − b, counter-wise (for phase baselines).
 func (s FaultStats) Sub(b FaultStats) FaultStats {
 	return FaultStats{
-		Routed:       s.Routed - b.Routed,
-		Rerouted:     s.Rerouted - b.Rerouted,
-		ReroutedHops: s.ReroutedHops - b.ReroutedHops,
-		BaseHops:     s.BaseHops - b.BaseHops,
-		Held:         s.Held - b.Held,
-		HeldBytes:    s.HeldBytes - b.HeldBytes,
-		RetryMsgs:    s.RetryMsgs - b.RetryMsgs,
-		RetryBytes:   s.RetryBytes - b.RetryBytes,
-		HeldUS:       s.HeldUS - b.HeldUS,
+		Routed:          s.Routed - b.Routed,
+		Rerouted:        s.Rerouted - b.Rerouted,
+		ReroutedHops:    s.ReroutedHops - b.ReroutedHops,
+		BaseHops:        s.BaseHops - b.BaseHops,
+		Held:            s.Held - b.Held,
+		HeldBytes:       s.HeldBytes - b.HeldBytes,
+		RetryMsgs:       s.RetryMsgs - b.RetryMsgs,
+		RetryBytes:      s.RetryBytes - b.RetryBytes,
+		HeldUS:          s.HeldUS - b.HeldUS,
+		Dropped:         s.Dropped - b.Dropped,
+		DroppedBytes:    s.DroppedBytes - b.DroppedBytes,
+		AckMsgs:         s.AckMsgs - b.AckMsgs,
+		AckBytes:        s.AckBytes - b.AckBytes,
+		Retransmits:     s.Retransmits - b.Retransmits,
+		RetransmitBytes: s.RetransmitBytes - b.RetransmitBytes,
+		DupDrops:        s.DupDrops - b.DupDrops,
+		FalseTimeouts:   s.FalseTimeouts - b.FalseTimeouts,
+		Detected:        s.Detected - b.Detected,
+		DetectUS:        s.DetectUS - b.DetectUS,
+		Recovered:       s.Recovered - b.Recovered,
+		RecoverUS:       s.RecoverUS - b.RecoverUS,
+		Failovers:       s.Failovers - b.Failovers,
+		Reissues:        s.Reissues - b.Reissues,
 	}
 }
 
+// add returns s + b, counter-wise (FaultStats aggregates the per-node
+// transport counters of reactive mode).
+func (s FaultStats) add(b FaultStats) FaultStats {
+	return FaultStats{
+		Routed:          s.Routed + b.Routed,
+		Rerouted:        s.Rerouted + b.Rerouted,
+		ReroutedHops:    s.ReroutedHops + b.ReroutedHops,
+		BaseHops:        s.BaseHops + b.BaseHops,
+		Held:            s.Held + b.Held,
+		HeldBytes:       s.HeldBytes + b.HeldBytes,
+		RetryMsgs:       s.RetryMsgs + b.RetryMsgs,
+		RetryBytes:      s.RetryBytes + b.RetryBytes,
+		HeldUS:          s.HeldUS + b.HeldUS,
+		Dropped:         s.Dropped + b.Dropped,
+		DroppedBytes:    s.DroppedBytes + b.DroppedBytes,
+		AckMsgs:         s.AckMsgs + b.AckMsgs,
+		AckBytes:        s.AckBytes + b.AckBytes,
+		Retransmits:     s.Retransmits + b.Retransmits,
+		RetransmitBytes: s.RetransmitBytes + b.RetransmitBytes,
+		DupDrops:        s.DupDrops + b.DupDrops,
+		FalseTimeouts:   s.FalseTimeouts + b.FalseTimeouts,
+		Detected:        s.Detected + b.Detected,
+		DetectUS:        s.DetectUS + b.DetectUS,
+		Recovered:       s.Recovered + b.Recovered,
+		RecoverUS:       s.RecoverUS + b.RecoverUS,
+		Failovers:       s.Failovers + b.Failovers,
+		Reissues:        s.Reissues + b.Reissues,
+	}
+}
+
+// DetectLatencyUS is the mean failure-detection latency: time from a
+// message's first transmission to its sender declaring the destination
+// suspect (0 when nothing was detected).
+func (s FaultStats) DetectLatencyUS() float64 {
+	if s.Detected == 0 {
+		return 0
+	}
+	return s.DetectUS / float64(s.Detected)
+}
+
+// RecoveryUS is the mean time-to-recovery: how long a suspect destination
+// stayed suspect before an ack from it arrived again (0 when nothing
+// recovered).
+func (s FaultStats) RecoveryUS() float64 {
+	if s.Recovered == 0 {
+		return 0
+	}
+	return s.RecoverUS / float64(s.Recovered)
+}
+
 // Availability is the fraction of routed messages that were deliverable at
-// departure: 1 − Held/Routed (1 when nothing was routed).
+// departure: 1 − (Held+Dropped)/Routed (1 when nothing was routed). Held
+// counts oracle-mode holds, Dropped reactive-mode losses; at most one of
+// the two is ever nonzero.
 func (s FaultStats) Availability() float64 {
 	if s.Routed == 0 {
 		return 1
 	}
-	return 1 - float64(s.Held)/float64(s.Routed)
+	return 1 - float64(s.Held+s.Dropped)/float64(s.Routed)
 }
 
 // Stretch is the mean path stretch of re-routed messages:
@@ -296,12 +388,57 @@ func (nw *Network) InstallFaults(s FaultSchedule) error {
 	fs.upLink = make([]int32, fs.nNodes)
 	fs.dnLink = make([]int32, fs.nNodes)
 	fs.liveDeg = make([]int32, fs.nNodes)
-	fs.sched = s.normalized()
+	fs.sched = mergeOverlaps(s.normalized())
 	if err := fs.validate(); err != nil {
 		return err
 	}
 	nw.faults = fs
 	return nil
+}
+
+// mergeOverlaps coalesces overlapping outage windows on the same link pair
+// or node into their union: a depth counter per target keeps only the
+// 0→1 down and the 1→0 up transitions. Composed schedules — explicit
+// events plus a drawn fault.Gen schedule, or a generator whose windows
+// happen to overlap — would otherwise fail validation with a spurious
+// "already in that state" error. The transform is the identity for any
+// schedule that already alternates correctly, so every existing run is
+// bit-identical; genuinely malformed schedules (an up with no active down,
+// a down never healed) still reach validate untouched and error there.
+func mergeOverlaps(s FaultSchedule) FaultSchedule {
+	pairDepth := make(map[[2]int]int)
+	nodeDepth := make(map[int]int)
+	out := make(FaultSchedule, 0, len(s))
+	for _, ev := range s {
+		keep := true
+		switch ev.Kind {
+		case FaultLinkDown, FaultLinkUp:
+			a, b := ev.A, ev.B
+			if a > b {
+				a, b = b, a
+			}
+			p := [2]int{a, b}
+			if ev.Kind == FaultLinkDown {
+				keep = pairDepth[p] == 0
+				pairDepth[p]++
+			} else if pairDepth[p] > 0 {
+				pairDepth[p]--
+				keep = pairDepth[p] == 0
+			}
+		case FaultNodeDown, FaultNodeUp:
+			if ev.Kind == FaultNodeDown {
+				keep = nodeDepth[ev.A] == 0
+				nodeDepth[ev.A]++
+			} else if nodeDepth[ev.A] > 0 {
+				nodeDepth[ev.A]--
+				keep = nodeDepth[ev.A] == 0
+			}
+		}
+		if keep {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // FaultSchedule returns a copy of the installed schedule in applied
@@ -316,13 +453,22 @@ func (nw *Network) FaultSchedule() FaultSchedule {
 	return out
 }
 
-// FaultStats returns the accumulated fault counters (zero when no
-// schedule is installed).
+// FaultStats returns the accumulated fault counters: the routing-order
+// engine counters plus, in reactive mode, the per-node transport counters
+// and a restored snapshot's baseline. Zero when neither a schedule nor
+// reactive mode is installed.
 func (nw *Network) FaultStats() FaultStats {
-	if nw.faults == nil {
-		return FaultStats{}
+	var st FaultStats
+	if nw.faults != nil {
+		st = nw.faults.stats
 	}
-	return nw.faults.stats
+	if r := nw.react; r != nil {
+		st = st.add(r.base)
+		for i := range r.nodes {
+			st = st.add(r.nodes[i].stats)
+		}
+	}
+	return st
 }
 
 // validate checks the normalized schedule: endpoints exist, downs and ups
@@ -619,21 +765,23 @@ func (fs *faultState) connectedOn(down []int32, nodeDown []bool, src, dst int) b
 // route is routeRaw under an installed fault schedule: advance the
 // schedule to the departure time, then deliver over the shortest path if
 // it is fully live, over the live spanning tree if src and dst are still
-// connected, or hold the message until the schedule reconnects them and
-// retransmit (a fresh send startup at the heal time). In-flight liveness
-// is sampled at departure: a message that left on a live path is not
-// recalled by a later failure (circuit already established — the wormhole
-// charges model the path as held for the transmission anyway).
-func (fs *faultState) route(nw *Network, src, dst, size int, depart sim.Time) sim.Time {
+// connected — and otherwise hold the message until the schedule reconnects
+// them and retransmit (oracle mode), or drop it at the failure point
+// (reactive mode: delivered=false, the ack/retransmit transport recovers).
+// In-flight liveness is sampled at departure: a message that left on a
+// live path is not recalled by a later failure (circuit already
+// established — the wormhole charges model the path as held for the
+// transmission anyway).
+func (fs *faultState) route(nw *Network, src, dst, size int, depart sim.Time) (sim.Time, bool) {
 	fs.sync(depart)
 	fs.stats.Routed++
 	if !fs.anyDown() {
-		return nw.chargePath(nw.healthyPath(src, dst), size, depart)
+		return nw.chargePath(nw.healthyPath(src, dst), size, depart), true
 	}
 	if !fs.nodeDown[src] && !fs.nodeDown[dst] {
 		path := nw.healthyPath(src, dst)
 		if fs.liveAll(path) {
-			return nw.chargePath(path, size, depart)
+			return nw.chargePath(path, size, depart), true
 		}
 		if fs.treeDirty {
 			fs.rebuildTree()
@@ -644,8 +792,16 @@ func (fs *faultState) route(nw *Network, src, dst, size int, depart sim.Time) si
 			fs.stats.Rerouted++
 			fs.stats.ReroutedHops += uint64(len(p))
 			fs.stats.BaseHops += base
-			return nw.chargePath(p, size, depart)
+			return nw.chargePath(p, size, depart), true
 		}
+	}
+	if nw.react != nil {
+		// Reactive mode: the message vanishes at the failure point —
+		// no event, no link charges, no oracle knowledge. The sender's
+		// retransmission timer is the only recovery.
+		fs.stats.Dropped++
+		fs.stats.DroppedBytes += uint64(size)
+		return 0, false
 	}
 	healT := fs.healTime(src, dst)
 	fs.stats.Held++

@@ -63,6 +63,13 @@ type Msg struct {
 	pooled   bool
 	Tag      int
 	Payload  interface{}
+
+	// Reactive-transport header (reactive.go), zero in oracle mode: the
+	// per-channel sequence number stamped on first transmission (0 = not
+	// yet stamped) and the transmission attempt it was part of (echoed in
+	// the ack, so the sender can count false timeouts exactly).
+	xseq uint32
+	xatt uint16
 }
 
 // LinkLoad is the accumulated traffic of one directed link.
@@ -147,6 +154,13 @@ type Network struct {
 	// on a fault-free network, which then routes on the exact pre-fault
 	// code path.
 	faults *faultState
+
+	// react is the reactive-mode transport state (reactive.go); nil in
+	// oracle mode, which stays on the exact pre-reactive code path.
+	react *reactState
+	// reactTimeoutFn is the bound retransmission-timeout callback, so
+	// timer scheduling allocates no closures (the arriveFn pattern).
+	reactTimeoutFn func(interface{})
 
 	// Sharded-cluster state (shard.go); nil on a single-kernel network.
 	kernels []*sim.Kernel    // per-shard kernels, indexed by shard
@@ -329,6 +343,9 @@ func (nw *Network) Handle(kind uint8, h Handler) {
 	if kind == KindInbox {
 		panic("mesh: kind 0 is reserved for the inbox")
 	}
+	if kind == KindTransportAck && nw.react != nil {
+		panic(fmt.Sprintf("mesh: kind %d is reserved for transport acks in reactive mode", KindTransportAck))
+	}
 	if nw.handlers[kind] != nil {
 		panic(fmt.Sprintf("mesh: handler for kind %d registered twice", kind))
 	}
@@ -392,6 +409,14 @@ func (nw *Network) chargeSend(src int) sim.Time {
 // event, the classic pair. Either way both stages are typed events
 // carrying the *Msg itself — no closures, no allocations.
 func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
+	if nw.react != nil {
+		// Reactive mode: stamp the channel sequence, register the
+		// outstanding record and schedule the retransmission timer before
+		// the delivery below allocates the arrival sequence (or defers it
+		// to the boundary merge) — both modes then allocate in the same
+		// order. No-op for local messages, acks and retransmissions.
+		nw.reactOnSend(m, depart)
+	}
 	if nw.shardOf != nil {
 		if ks := nw.kOf(m.Src); ks.InWindow() {
 			if m.Src != m.Dst {
@@ -423,8 +448,20 @@ func (nw *Network) deliverAfterRoute(m *Msg, depart sim.Time) {
 	}
 	nw.sendMsgs[m.Kind]++
 	nw.sendBytes[m.Kind] += uint64(m.Size)
-	arrive := nw.route(m, depart)
+	arrive, delivered := nw.routeRawEx(m.Src, m.Dst, m.Size, depart)
 	kd := nw.kOf(m.Dst)
+	if !delivered {
+		// The message vanished at a failure point (reactive mode): no
+		// arrival event exists, only the sequence it would have carried is
+		// consumed — mirroring the boundary merge, which allocates a
+		// global sequence per deferred send before the replay outcome is
+		// known (shard.go).
+		kd.SkipSeq()
+		if m.pooled {
+			nw.releaseMsg(m)
+		}
+		return
+	}
 	if nw.twoStage {
 		kd.Stat.TwoStageDeliveries++
 		kd.AtCall(arrive, nw.arriveFn, m)
@@ -459,8 +496,26 @@ func (nw *Network) msgArrive(x interface{}) {
 }
 
 // msgReady dispatches m to its kind's handler and recycles pooled messages.
+// In reactive mode the transport intercepts first: acks retire their
+// sender-side records, and duplicate data messages are re-acked and
+// dropped without dispatch.
 func (nw *Network) msgReady(x interface{}) {
 	m := x.(*Msg)
+	if nw.react != nil && m.Src != m.Dst {
+		if m.Kind == KindTransportAck {
+			nw.reactOnAck(m)
+			if m.pooled {
+				nw.releaseMsg(m)
+			}
+			return
+		}
+		if m.xseq != 0 && !nw.reactAccept(m) {
+			if m.pooled {
+				nw.releaseMsg(m)
+			}
+			return
+		}
+	}
 	h := nw.handlers[m.Kind]
 	if h == nil {
 		panic(fmt.Sprintf("mesh: no handler for message kind %d", m.Kind))
@@ -512,19 +567,6 @@ func (nw *Network) InlineRecvAt(dst int, arrive sim.Time) sim.Time {
 	return ready
 }
 
-// route models wormhole transmission of m along the topology's
-// deterministic shortest path: the head acquires each link no earlier
-// than the link is free and the tail arrives one message duration after
-// the head clears the last link. With backpressure (the default), every
-// link of the path is held until the tail has drained through the last
-// link, so blocking propagates upstream as in a real wormhole network;
-// without it each link is held for one message duration independently.
-// Congestion counters are bumped for every traversed link. Returns the
-// arrival time at the destination.
-func (nw *Network) route(m *Msg, depart sim.Time) sim.Time {
-	return nw.routeRaw(m.Src, m.Dst, m.Size, depart)
-}
-
 // scratchRoute computes (src, dst)'s route into the reusable scratch
 // buffer, for machines without a memo table.
 func (nw *Network) scratchRoute(src, dst int) []int32 {
@@ -546,15 +588,31 @@ func (nw *Network) appendRoute32(p []int) []int32 {
 // scalar (src, dst, size), shared by the event-driven delivery path and the
 // inline replay helpers. With a fault schedule installed, routing goes
 // through the fault engine (fault.go); node-local delivery never touches
-// the network and is immune to faults.
+// the network and is immune to faults. routeRaw itself is the oracle-mode
+// entry: a reactive-mode drop cannot reach it (the delivery paths go
+// through routeRawEx, and the inline helpers are gated off under reactive
+// mode), so a drop here is a bug.
 func (nw *Network) routeRaw(src, dst, size int, depart sim.Time) sim.Time {
+	t, delivered := nw.routeRawEx(src, dst, size, depart)
+	if !delivered {
+		panic("mesh: message dropped on a hold-free routing path")
+	}
+	return t
+}
+
+// routeRawEx is routeRaw with an explicit delivery outcome: delivered is
+// false when reactive mode dropped the message at a failure point (the
+// arrival time is then meaningless). In oracle mode delivered is always
+// true — undeliverable messages are held and retransmitted at heal time
+// inside the fault engine instead.
+func (nw *Network) routeRawEx(src, dst, size int, depart sim.Time) (arrive sim.Time, delivered bool) {
 	if src == dst {
-		return depart + nw.P.LocalDeliveryUS
+		return depart + nw.P.LocalDeliveryUS, true
 	}
 	if nw.faults != nil {
 		return nw.faults.route(nw, src, dst, size, depart)
 	}
-	return nw.chargePath(nw.healthyPath(src, dst), size, depart)
+	return nw.chargePath(nw.healthyPath(src, dst), size, depart), true
 }
 
 // healthyPath returns the topology's deterministic shortest route for

@@ -74,7 +74,16 @@ func (nw *Network) replayDeferred(si int, gseq uint64) {
 	m := d.m
 	nw.sendMsgs[m.Kind]++
 	nw.sendBytes[m.Kind] += uint64(m.Size)
-	arrive := nw.routeRaw(m.Src, m.Dst, m.Size, d.depart)
+	arrive, delivered := nw.routeRawEx(m.Src, m.Dst, m.Size, d.depart)
+	if !delivered {
+		// Reactive-mode drop at the failure point: no arrival event is
+		// injected and the pre-allocated gseq stays consumed — exactly
+		// what the sequential kernel does with SkipSeq on its drop path.
+		if m.pooled {
+			nw.releaseMsg(m)
+		}
+		return
+	}
 	kd := nw.kOf(m.Dst)
 	if nw.twoStage {
 		kd.Stat.TwoStageDeliveries++

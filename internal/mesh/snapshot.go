@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"diva/internal/sim"
+	"diva/internal/xrand"
 )
 
 // This file captures and restores a Network's mutable simulated state for
@@ -38,6 +39,32 @@ type NetworkState struct {
 	// restore re-applies the schedule prefix.
 	faultCursor int
 	faultStats  FaultStats
+
+	// Reactive transport state (nil for oracle-mode captures): per-node
+	// jitter-RNG positions, channel sequence counters, receiver dedup
+	// state and suspect sets, plus the folded transport counters. No
+	// outstanding transmissions or timers exist at quiescence (a live
+	// record always holds a pending timer, which blocks the capture).
+	react *reactCapture
+}
+
+// reactCapture is the reactive transport's captured state.
+type reactCapture struct {
+	stats FaultStats // folded per-node counters plus any restored baseline
+	nodes []reactNodeCap
+}
+
+// reactNodeCap is one node's transport state in canonical (sorted-key)
+// form, so captures of identical runs are identical.
+type reactNodeCap struct {
+	rng       xrand.State
+	sendDst   []int
+	sendSeq   []uint32
+	recvSrc   []int
+	recvFloor []uint32
+	recvSeen  [][]uint32
+	suspDst   []int
+	suspAt    []sim.Time
 }
 
 // inboxState is one node's queued inbox messages, per tag in ascending tag
@@ -82,6 +109,54 @@ func (nw *Network) SnapshotState() (*NetworkState, error) {
 			st.sendBytes[k] += sh.bytes[k]
 		}
 	}
+	if r := nw.react; r != nil {
+		rc := &reactCapture{stats: r.base, nodes: make([]reactNodeCap, len(r.nodes))}
+		for i := range r.nodes {
+			n := &r.nodes[i]
+			if len(n.out) > 0 {
+				// Unreachable at quiescence: every record holds a pending
+				// timer, which keeps the kernel busy. Defensive.
+				return nil, fmt.Errorf("mesh: node %d has %d outstanding transmissions", i, len(n.out))
+			}
+			rc.stats = rc.stats.add(n.stats)
+			nc := &rc.nodes[i]
+			nc.rng = n.rng.State()
+			nc.sendDst = make([]int, 0, len(n.nextSend))
+			for d := range n.nextSend {
+				nc.sendDst = append(nc.sendDst, d)
+			}
+			sort.Ints(nc.sendDst)
+			nc.sendSeq = make([]uint32, len(nc.sendDst))
+			for j, d := range nc.sendDst {
+				nc.sendSeq[j] = n.nextSend[d]
+			}
+			nc.recvSrc = make([]int, 0, len(n.recv))
+			for s := range n.recv {
+				nc.recvSrc = append(nc.recvSrc, s)
+			}
+			sort.Ints(nc.recvSrc)
+			nc.recvFloor = make([]uint32, len(nc.recvSrc))
+			nc.recvSeen = make([][]uint32, len(nc.recvSrc))
+			for j, s := range nc.recvSrc {
+				ch := n.recv[s]
+				nc.recvFloor[j] = ch.floor
+				for sq := range ch.seen {
+					nc.recvSeen[j] = append(nc.recvSeen[j], sq)
+				}
+				sort.Slice(nc.recvSeen[j], func(a, b int) bool { return nc.recvSeen[j][a] < nc.recvSeen[j][b] })
+			}
+			nc.suspDst = make([]int, 0, len(n.suspect))
+			for d := range n.suspect {
+				nc.suspDst = append(nc.suspDst, d)
+			}
+			sort.Ints(nc.suspDst)
+			nc.suspAt = make([]sim.Time, len(nc.suspDst))
+			for j, d := range nc.suspDst {
+				nc.suspAt[j] = n.suspect[d]
+			}
+		}
+		st.react = rc
+	}
 	for n := range nw.inboxes {
 		ib := &nw.inboxes[n]
 		for tag, ws := range ib.waiters {
@@ -123,9 +198,45 @@ func (nw *Network) RestoreState(st *NetworkState) error {
 			return fmt.Errorf("mesh: snapshot is mid fault schedule but the network has none installed")
 		}
 	}
+	if (st.react != nil) != (nw.react != nil) {
+		return fmt.Errorf("mesh: snapshot and network disagree on reactive mode")
+	}
+	if st.react != nil && len(st.react.nodes) != len(nw.react.nodes) {
+		return fmt.Errorf("mesh: snapshot has reactive state for %d nodes, network has %d", len(st.react.nodes), len(nw.react.nodes))
+	}
 	if nw.faults != nil {
 		nw.faults.resetTo(st.faultCursor)
 		nw.faults.stats = st.faultStats
+	}
+	if rc := st.react; rc != nil {
+		r := nw.react
+		r.base = rc.stats
+		for i := range rc.nodes {
+			nc := &rc.nodes[i]
+			n := &r.nodes[i]
+			n.rng.SetState(nc.rng)
+			n.stats = FaultStats{} // folded into base at capture
+			n.nextSend = make(map[int]uint32, len(nc.sendDst))
+			for j, d := range nc.sendDst {
+				n.nextSend[d] = nc.sendSeq[j]
+			}
+			n.out = make(map[uint64]*xmit)
+			n.recv = make(map[int]*recvChan, len(nc.recvSrc))
+			for j, s := range nc.recvSrc {
+				ch := &recvChan{floor: nc.recvFloor[j]}
+				for _, sq := range nc.recvSeen[j] {
+					if ch.seen == nil {
+						ch.seen = make(map[uint32]struct{}, len(nc.recvSeen[j]))
+					}
+					ch.seen[sq] = struct{}{}
+				}
+				n.recv[s] = ch
+			}
+			n.suspect = make(map[int]sim.Time, len(nc.suspDst))
+			for j, d := range nc.suspDst {
+				n.suspect[d] = nc.suspAt[j]
+			}
+		}
 	}
 	copy(nw.links, st.links)
 	copy(nw.cpuFree, st.cpuFree)

@@ -24,6 +24,26 @@ type NetworkWire struct {
 	Inboxes     []InboxWire
 	FaultCursor int
 	FaultStats  FaultStats
+	React       *ReactWire // nil for oracle-mode captures
+}
+
+// ReactWire is the serializable reactive-transport state.
+type ReactWire struct {
+	Stats FaultStats
+	Nodes []ReactNodeWire
+}
+
+// ReactNodeWire is one node's transport state: parallel key/value slices
+// with keys ascending (the canonical form the capture produces).
+type ReactNodeWire struct {
+	RNG       [4]uint64
+	SendDst   []int
+	SendSeq   []uint32
+	RecvSrc   []int
+	RecvFloor []uint32
+	RecvSeen  [][]uint32
+	SuspDst   []int
+	SuspAt    []sim.Time
 }
 
 // InboxWire is one node's queued inbox messages: Queues[i] holds tag
@@ -60,6 +80,26 @@ func (st *NetworkState) Wire() *NetworkWire {
 	for i, l := range st.links {
 		w.LinkBusy[i] = l.busyUntil
 		w.LinkLoad[i] = l.load
+	}
+	if rc := st.react; rc != nil {
+		rw := &ReactWire{Stats: rc.stats, Nodes: make([]ReactNodeWire, len(rc.nodes))}
+		for i := range rc.nodes {
+			nc := &rc.nodes[i]
+			rw.Nodes[i] = ReactNodeWire{
+				RNG:       nc.rng,
+				SendDst:   append([]int(nil), nc.sendDst...),
+				SendSeq:   append([]uint32(nil), nc.sendSeq...),
+				RecvSrc:   append([]int(nil), nc.recvSrc...),
+				RecvFloor: append([]uint32(nil), nc.recvFloor...),
+				RecvSeen:  make([][]uint32, len(nc.recvSeen)),
+				SuspDst:   append([]int(nil), nc.suspDst...),
+				SuspAt:    append([]sim.Time(nil), nc.suspAt...),
+			}
+			for j, s := range nc.recvSeen {
+				rw.Nodes[i].RecvSeen[j] = append([]uint32(nil), s...)
+			}
+		}
+		w.React = rw
 	}
 	for n := range st.inboxes {
 		is := &st.inboxes[n]
@@ -100,6 +140,34 @@ func (w *NetworkWire) State() (*NetworkState, error) {
 	copy(st.sendBytes[:], w.SendBytes)
 	for i := range st.links {
 		st.links[i] = link{busyUntil: w.LinkBusy[i], load: w.LinkLoad[i]}
+	}
+	if rw := w.React; rw != nil {
+		if len(rw.Nodes) != len(w.CPUFree) {
+			return nil, fmt.Errorf("mesh: wire has reactive state for %d nodes but %d nodes", len(rw.Nodes), len(w.CPUFree))
+		}
+		rc := &reactCapture{stats: rw.Stats, nodes: make([]reactNodeCap, len(rw.Nodes))}
+		for i := range rw.Nodes {
+			nw := &rw.Nodes[i]
+			if len(nw.SendDst) != len(nw.SendSeq) ||
+				len(nw.RecvSrc) != len(nw.RecvFloor) || len(nw.RecvSrc) != len(nw.RecvSeen) ||
+				len(nw.SuspDst) != len(nw.SuspAt) {
+				return nil, fmt.Errorf("mesh: wire reactive node %d has mismatched key/value slices", i)
+			}
+			rc.nodes[i] = reactNodeCap{
+				rng:       nw.RNG,
+				sendDst:   append([]int(nil), nw.SendDst...),
+				sendSeq:   append([]uint32(nil), nw.SendSeq...),
+				recvSrc:   append([]int(nil), nw.RecvSrc...),
+				recvFloor: append([]uint32(nil), nw.RecvFloor...),
+				recvSeen:  make([][]uint32, len(nw.RecvSeen)),
+				suspDst:   append([]int(nil), nw.SuspDst...),
+				suspAt:    append([]sim.Time(nil), nw.SuspAt...),
+			}
+			for j, s := range nw.RecvSeen {
+				rc.nodes[i].recvSeen[j] = append([]uint32(nil), s...)
+			}
+		}
+		st.react = rc
 	}
 	for n := range w.Inboxes {
 		iw := &w.Inboxes[n]

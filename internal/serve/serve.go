@@ -178,6 +178,9 @@ type RunResponse struct {
 	// Faults reports the degradation counters of a faulty run; absent on
 	// fault-free machines.
 	Faults *FaultSummary `json:"faults,omitempty"`
+	// Recovery reports the reactive transport's counters; absent on
+	// oracle-mode machines (the default).
+	Recovery *RecoverySummary `json:"recovery,omitempty"`
 }
 
 // Cong is the congestion summary of a run.
@@ -200,6 +203,25 @@ type FaultSummary struct {
 	RetryMsgs    uint64  `json:"retry_msgs"`
 	RetryBytes   uint64  `json:"retry_bytes"`
 	HeldUS       float64 `json:"held_us"`
+}
+
+// RecoverySummary is the reactive-mode transport and failure-detector
+// summary of a run: the traffic fault tolerance cost (acks,
+// retransmissions, duplicates), the detector's outcomes (detections with
+// mean latency, false timeouts, recovered suspects) and the strategy's
+// recoveries (home failovers, re-issued requests).
+type RecoverySummary struct {
+	Dropped       uint64  `json:"dropped"`
+	AckMsgs       uint64  `json:"ack_msgs"`
+	AckBytes      uint64  `json:"ack_bytes"`
+	Retransmits   uint64  `json:"retransmits"`
+	DupDrops      uint64  `json:"dup_drops"`
+	FalseTimeouts uint64  `json:"false_timeouts"`
+	Detected      uint64  `json:"detected"`
+	MeanDetectUS  float64 `json:"mean_detect_us"`
+	Recovered     uint64  `json:"recovered"`
+	Failovers     uint64  `json:"failovers"`
+	Reissues      uint64  `json:"reissues"`
 }
 
 // SnapshotResponse is the POST /v1/snapshots answer.
@@ -450,6 +472,7 @@ func (s *Server) run(ctx context.Context, sp spec.Spec, handle string) (*RunResp
 		},
 		Evictions: diva.TotalEvictions(m),
 		Faults:    faultSummary(m),
+		Recovery:  recoverySummary(m),
 	}, 0, nil
 }
 
@@ -555,6 +578,32 @@ func faultSummary(m *diva.Machine) *FaultSummary {
 	}
 }
 
+// recoverySummary condenses the reactive transport counters of a run;
+// nil when the machine runs in the default oracle mode.
+func recoverySummary(m *diva.Machine) *RecoverySummary {
+	if !m.Net.Reactive() {
+		return nil
+	}
+	st := m.Net.FaultStats()
+	mean := 0.0
+	if st.Detected > 0 {
+		mean = st.DetectUS / float64(st.Detected)
+	}
+	return &RecoverySummary{
+		Dropped:       st.Dropped,
+		AckMsgs:       st.AckMsgs,
+		AckBytes:      st.AckBytes,
+		Retransmits:   st.Retransmits,
+		DupDrops:      st.DupDrops,
+		FalseTimeouts: st.FalseTimeouts,
+		Detected:      st.Detected,
+		MeanDetectUS:  mean,
+		Recovered:     st.Recovered,
+		Failovers:     st.Failovers,
+		Reissues:      st.Reissues,
+	}
+}
+
 // registriesResponse lists every registered name the spec layer accepts.
 type registriesResponse struct {
 	Strategies []diva.RegistryEntry `json:"strategies"`
@@ -563,6 +612,8 @@ type registriesResponse struct {
 	Trees      []string             `json:"trees"`
 	// Faults documents the fault-schedule spec fields (spec.Fault).
 	Faults []diva.RegistryEntry `json:"faults"`
+	// Recovery documents the fault-tolerance mode spec fields.
+	Recovery []diva.RegistryEntry `json:"recovery"`
 }
 
 func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
@@ -572,6 +623,7 @@ func (s *Server) handleRegistries(w http.ResponseWriter, r *http.Request) {
 		Workloads:  diva.Workloads(),
 		Trees:      spec.TreeNames(),
 		Faults:     spec.FaultFields(),
+		Recovery:   spec.RecoveryFields(),
 	})
 }
 

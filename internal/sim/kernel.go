@@ -73,6 +73,10 @@ type Kernel struct {
 	// delivery runs every arrive stage here, making a message hop one
 	// regular kernel event instead of two.
 	lazyq ladderQueue
+	// tq is the timer tier (TimerAt/CancelTimer, timer.go): cancelable
+	// timeout events in an indexed heap, executed inline like the lazy
+	// tier but removable without tombstones.
+	tq timerQueue
 	// useHeap routes scheduling through the retained 4-ary heap instead
 	// of the ladder queue: the differential-test oracle, and a whole-run
 	// A/B switch (default from the diva_heapq build tag).
@@ -149,7 +153,7 @@ func (k *Kernel) Pending() int {
 // localPending counts this kernel's own unexecuted events across all
 // tiers (the pre-cluster Pending).
 func (k *Kernel) localPending() int {
-	return k.lq.len() + k.hq.len() + k.lazyq.len() + len(k.nowq) - k.nowqHead
+	return k.lq.len() + k.hq.len() + k.lazyq.len() + k.tq.len() + len(k.nowq) - k.nowqHead
 }
 
 // minDue returns the timestamp of this kernel's earliest unexecuted
@@ -177,6 +181,11 @@ func (k *Kernel) minDue() (Time, bool) {
 			best, ok = e.t, true
 		}
 	}
+	if te := k.tq.peek(); te != nil {
+		if !ok || te.t < best {
+			best, ok = te.t, true
+		}
+	}
 	return best, ok
 }
 
@@ -189,6 +198,7 @@ func (k *Kernel) remapSeqs(f func(uint64) uint64) {
 	k.lq.remapSeqs(f)
 	k.hq.remapSeqs(f)
 	k.lazyq.remapSeqs(f)
+	k.tq.remapSeqs(f)
 	for i := k.nowqHead; i < len(k.nowq); i++ {
 		k.nowq[i].seq = f(k.nowq[i].seq)
 	}
@@ -280,6 +290,16 @@ func (k *Kernel) allocSeq() uint64 {
 	return k.seq
 }
 
+// SkipSeq consumes one sequence number without scheduling an event. The
+// network's reactive mode calls it when a routed message is dropped at a
+// failure point: the sequential kernel then burns the sequence its arrival
+// event would have carried, mirroring the sharded cluster — whose boundary
+// merge allocates a global sequence per deferred send before it knows the
+// replay outcome — so both execution modes number every subsequent event
+// identically. Dropped events are never executed, so the skipped sequence
+// never reaches the fingerprint in either mode.
+func (k *Kernel) SkipSeq() { k.allocSeq() }
+
 // takeSlot fetches and recycles a callback event's payload. The slot is
 // recycled without clearing: it is fully overwritten on reuse, and until
 // then it retains only a bounded number of already-executed callback
@@ -340,20 +360,42 @@ func (k *Kernel) next() (event, bool) {
 				fromNowq = true
 			}
 		}
-		if k.lazyq.len() > 0 {
-			if le := k.lazyq.peek(); reg == nil || le.before(reg) {
-				if sh := k.sh; sh != nil && sh.window && le.t >= sh.horizon {
+		// The inline tiers — lazy events and timers — execute at the pop
+		// boundary in their exact (t, seq) positions. Pick the earlier of
+		// the two tier heads, then compare against the regular candidate.
+		le := k.lazyq.peek()
+		te := k.tq.peek()
+		if le != nil || te != nil {
+			useTimer := le == nil || (te != nil && (te.t < le.t || (te.t == le.t && te.seq < le.seq)))
+			var ct Time
+			var cs uint64
+			if useTimer {
+				ct, cs = te.t, te.seq
+			} else {
+				ct, cs = le.t, le.seq
+			}
+			if reg == nil || ct < reg.t || (ct == reg.t && cs < reg.seq) {
+				if sh := k.sh; sh != nil && sh.window && ct >= sh.horizon {
 					// The globally next local event lies at or beyond the
 					// window horizon: the window is over for this shard.
 					sh.paused = true
 					return event{}, false
 				}
-				e := k.lazyq.popFront()
-				k.now = e.t
-				k.Stat.Events++
-				k.fold(&e)
-				pl := k.takeSlot(e.slot)
-				pl.hfn(pl.arg)
+				if useTimer {
+					t := k.tq.popFront()
+					k.now = t.t
+					k.Stat.Events++
+					e := event{t: t.t, seq: t.seq}
+					k.fold(&e)
+					t.fn(t.arg)
+				} else {
+					e := k.lazyq.popFront()
+					k.now = e.t
+					k.Stat.Events++
+					k.fold(&e)
+					pl := k.takeSlot(e.slot)
+					pl.hfn(pl.arg)
+				}
 				if k.stopped {
 					return event{}, false
 				}

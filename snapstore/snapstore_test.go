@@ -193,6 +193,35 @@ func TestDiskABBarnesHut(t *testing.T) {
 	checkDiskAB(t, sp, diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2}))
 }
 
+// TestDiskABReactive pins the disk round trip for reactive-mode machines:
+// the transport's wire capture (per-node RNG positions, channel sequence
+// counters, receiver dedup floors, suspect sets) must survive the
+// save/load boundary so forks from disk replay the query — including its
+// retransmissions and give-ups — bit-identically. The warm workload runs
+// across a node outage, so the captured state is genuinely mid-recovery
+// shaped, not pristine.
+func TestDiskABReactive(t *testing.T) {
+	outage := &spec.Fault{Events: []spec.FaultEvent{
+		{AtUS: 200, Kind: "node-down", A: 5},
+		{AtUS: 30000, Kind: "node-up", A: 5},
+	}}
+	t.Run("dsm", func(t *testing.T) {
+		sp := machineSpec("mesh", "at4", 4, 4)
+		sp.Fault = outage
+		sp.Recovery = spec.RecoveryReactive
+		sp.AckTimeoutUS, sp.MaxRetries, sp.Backoff = 500, 3, 2
+		sp.Workload = spec.Workload{Name: "matmul", Block: 64, Seed: 1}
+		checkDiskAB(t, sp, diva.Bitonic(diva.BitonicConfig{KeysPerProc: 16, Check: true, Seed: 2}))
+	})
+	t.Run("handopt-sharded", func(t *testing.T) {
+		sp := spec.Spec{Topology: "mesh", Rows: 4, Cols: 4, Tree: "2-ary", Seed: 1999, Shards: 2}
+		sp.Fault = outage
+		sp.Recovery = spec.RecoveryReactive
+		sp.Workload = spec.Workload{Name: "stencil", Iters: 3, Halo: 32, Compute: true, Check: true, Seed: 7}
+		checkDiskAB(t, sp, diva.BitonicHandOpt(diva.BitonicConfig{KeysPerProc: 32, Check: true, Seed: 9}))
+	})
+}
+
 // TestHandleStability pins the handle derivation: operational fields
 // (timeout) do not change identity, machine fields do.
 func TestHandleStability(t *testing.T) {

@@ -55,6 +55,24 @@ type Spec struct {
 	// Fault injects link outages and node churn into the run; nil means a
 	// fault-free machine (the exact pre-fault code path).
 	Fault *Fault `json:"fault,omitempty"`
+	// Recovery selects the fault-tolerance mode, one of RecoveryModes():
+	// "oracle" (the default: the network holds in-flight messages across
+	// outages and strategies re-route instantaneously) or "reactive"
+	// (timeout-based failure detection over an ack/retransmit transport,
+	// with strategy-level recovery). Empty means "oracle".
+	Recovery string `json:"recovery,omitempty"`
+	// AckTimeoutUS is the reactive transport's initial retransmission
+	// timeout in simulated microseconds (default 2000). Setting it
+	// requires recovery "reactive".
+	AckTimeoutUS float64 `json:"ack_timeout_us,omitempty"`
+	// MaxRetries is how many times the reactive transport retransmits an
+	// unacknowledged message before giving up and handing it to the
+	// strategy (default 5). Setting it requires recovery "reactive".
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Backoff is the reactive transport's exponential backoff multiplier
+	// between retransmission attempts, at least 1 (default 2). Setting it
+	// requires recovery "reactive".
+	Backoff float64 `json:"backoff,omitempty"`
 	// TimeoutMS bounds the run's wall-clock time in milliseconds: when it
 	// expires the simulation is canceled cooperatively at the kernel's
 	// next checkpoint (diva.ErrCanceled; the service answers 504). 0 means
@@ -122,6 +140,28 @@ func FaultFields() []Registered {
 		{Name: "fault.node_churn", Summary: "randomized node churns drawn from the machine seed"},
 		{Name: "fault.mean_down_us", Summary: "mean outage duration of drawn faults (default 20000)"},
 		{Name: "fault.horizon_us", Summary: "start window of drawn faults (default 100000)"},
+	}
+}
+
+// The fault-tolerance mode names Spec.Recovery accepts.
+const (
+	RecoveryOracle   = "oracle"
+	RecoveryReactive = "reactive"
+)
+
+// RecoveryModes lists the fault-tolerance modes Spec.Recovery accepts.
+func RecoveryModes() []string {
+	return []string{RecoveryOracle, RecoveryReactive}
+}
+
+// RecoveryFields documents the recovery spec fields for listings
+// (-list, the service's /v1/registries).
+func RecoveryFields() []Registered {
+	return []Registered{
+		{Name: "recovery", Summary: "fault-tolerance mode: " + strings.Join(RecoveryModes(), "|") + " (default oracle)"},
+		{Name: "ack_timeout_us", Summary: "reactive transport's initial retransmission timeout (default 2000)"},
+		{Name: "max_retries", Summary: "reactive transport's retransmissions before giving up (default 5)"},
+		{Name: "backoff", Summary: "reactive transport's exponential backoff multiplier (default 2)"},
 	}
 }
 
@@ -241,6 +281,20 @@ func (s Spec) Normalized() Spec {
 	if n.Strategy == "handopt" {
 		n.Strategy = ""
 	}
+	if n.Recovery == "oracle" {
+		n.Recovery = "" // the default mode, like strategy "handopt"
+	}
+	if n.Recovery == "reactive" {
+		if n.AckTimeoutUS == 0 {
+			n.AckTimeoutUS = 2000
+		}
+		if n.MaxRetries == 0 {
+			n.MaxRetries = 5
+		}
+		if n.Backoff == 0 {
+			n.Backoff = 2
+		}
+	}
 	w := &n.Workload
 	if w.Seed == 0 {
 		w.Seed = n.Seed
@@ -335,6 +389,36 @@ func (s Spec) machineErrors() []FieldError {
 	}
 	if s.TimeoutMS < 0 {
 		errs = append(errs, FieldError{"timeout_ms", fmt.Sprintf("must be non-negative, got %d", s.TimeoutMS)})
+	}
+	switch s.Recovery {
+	case "", "oracle", "reactive":
+	default:
+		errs = append(errs, FieldError{"recovery",
+			fmt.Sprintf("unknown mode %q (have %s)", s.Recovery, strings.Join(RecoveryModes(), ", "))})
+	}
+	if s.Recovery == "reactive" {
+		if s.AckTimeoutUS <= 0 {
+			errs = append(errs, FieldError{"ack_timeout_us", "must be positive"})
+		}
+		if s.MaxRetries <= 0 {
+			errs = append(errs, FieldError{"max_retries", fmt.Sprintf("must be positive, got %d", s.MaxRetries)})
+		}
+		if s.Backoff < 1 {
+			errs = append(errs, FieldError{"backoff", fmt.Sprintf("must be at least 1, got %g", s.Backoff)})
+		}
+	} else {
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"ack_timeout_us", s.AckTimeoutUS != 0},
+			{"max_retries", s.MaxRetries != 0},
+			{"backoff", s.Backoff != 0},
+		} {
+			if f.set {
+				errs = append(errs, FieldError{f.name, `requires recovery "reactive"`})
+			}
+		}
 	}
 	if f := s.Fault; f != nil {
 		if len(f.Events) == 0 && f.LinkFailures == 0 && f.NodeChurn == 0 {
